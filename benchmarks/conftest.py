@@ -1,0 +1,36 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one of the paper's tables/figures and prints
+it through :func:`emit` so the rendered rows land in the captured
+bench output (``bench_output.txt``) right next to the timing table.
+Shape assertions in each bench guard the *qualitative* claims (who
+wins, rough factors, crossovers) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print *text* to the real stdout, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            sys.stdout.write("\n" + text + "\n")
+            sys.stdout.flush()
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — re-running them
+    only re-measures the host machine, so one round is the right
+    trade.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

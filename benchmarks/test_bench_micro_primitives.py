@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the hot-path primitives.
+
+Not a paper figure — these guard the simulator's own performance so
+the figure benches stay runnable: the event loop, the meter, the
+classifier slow path vs the flow-cache fast path, and a full
+software-mode scheduling decision.
+"""
+
+import pytest
+
+from repro.core import FlowValve
+from repro.core.sched_tree import SchedulingParams
+from repro.core.token_bucket import TokenBucket
+from repro.net import FiveTuple, PacketFactory
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def valve():
+    script = """
+    fv qdisc add dev eth0 root handle 1: fv default 0
+    fv class add dev eth0 parent 1: classid 1:1 fv rate 10gbit ceil 10gbit
+    fv class add dev eth0 parent 1:1 classid 1:10 fv weight 2 borrow 1:20
+    fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1 borrow 1:10
+    fv filter add dev eth0 parent 1: match app=A flowid 1:10
+    fv filter add dev eth0 parent 1: match app=B flowid 1:20
+    """
+    return FlowValve.from_script(
+        script, link_rate_bps=10e9,
+        params=SchedulingParams(update_interval=0.001, expire_after=0.01),
+    )
+
+
+def test_bench_event_loop(benchmark):
+    """Raw kernel throughput: schedule+run 10k trivial events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, int)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_bench_meter(benchmark):
+    """The atomic meter primitive."""
+    bucket = TokenBucket(10e9, 1e9)
+
+    def run():
+        bucket.refill(0.0)
+        return bucket.meter(12_160.0)
+
+    benchmark(run)
+
+
+def test_bench_scheduling_decision(benchmark, valve):
+    """A full software-mode Algorithm 1 decision (cache-hot flow)."""
+    factory = PacketFactory()
+    flow = FiveTuple("10.0.0.1", "10.0.1.1", 1, 80)
+    state = {"t": 0.0}
+    # Warm the flow cache.
+    valve.process(factory.make(1500, flow, 0.0, app="A"), 0.0)
+
+    def run():
+        state["t"] += 1e-5
+        packet = factory.make(1500, flow, state["t"], app="A")
+        return valve.process(packet, state["t"])
+
+    benchmark(run)
+    assert valve.labeler.cache_hit_ratio > 0.99
+
+
+def test_bench_classifier_slow_path(benchmark, valve):
+    """Rule-walk classification without the flow cache."""
+    factory = PacketFactory()
+    flow = FiveTuple("10.0.0.2", "10.0.1.1", 2, 80)
+    packet = factory.make(1500, flow, 0.0, app="B")
+
+    def run():
+        return valve.frontend.classifier.classify(packet)
+
+    result = benchmark(run)
+    assert result == "1:20"

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The ``fv`` command-line front end, demonstrated programmatically.
+
+FlowValve's shell interface inherits ``tc`` syntax (paper §III-E).
+This example writes a policy script to a temp file and drives the
+three CLI commands against it:
+
+* ``fv check``     — parse + validate;
+* ``fv show``      — print the scheduling tree with derived rates;
+* ``fv simulate``  — software-mode what-if: offered vs achieved rates.
+
+Run:  python examples/fv_cli_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as fv_main
+
+POLICY = """\
+# Motivation example (Section II), 10 Gbit link.
+fv qdisc add dev eth0 root handle 1: fv default 0
+fv class add dev eth0 parent 1: classid 1:1 fv rate 10gbit ceil 10gbit
+fv class add dev eth0 parent 1:1 classid 1:10 fv prio 0 rate 10gbit
+fv class add dev eth0 parent 1:1 classid 1:2 fv prio 1 rate 8gbit
+fv class add dev eth0 parent 1:2 classid 1:20 fv weight 1 borrow 1:3
+fv class add dev eth0 parent 1:2 classid 1:3 fv weight 2
+fv class add dev eth0 parent 1:3 classid 1:30 fv prio 0 rate 4gbit borrow 1:20
+fv class add dev eth0 parent 1:3 classid 1:31 fv prio 1 rate 2gbit \\
+    guarantee 2gbit threshold 4gbit borrow 1:20
+fv filter add dev eth0 parent 1: match app=NC flowid 1:10
+fv filter add dev eth0 parent 1: match app=WS flowid 1:20
+fv filter add dev eth0 parent 1: match app=KVS flowid 1:30
+fv filter add dev eth0 parent 1: match app=ML flowid 1:31
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        script = Path(tmp) / "motivation.fv"
+        script.write_text(POLICY)
+
+        print("$ fv check motivation.fv --link 10gbit")
+        fv_main(["check", str(script), "--link", "10gbit"])
+        print()
+
+        print("$ fv show motivation.fv --link 10gbit")
+        fv_main(["show", str(script), "--link", "10gbit"])
+        print()
+
+        print("$ fv simulate motivation.fv --link 10gbit \\")
+        print("      --app NC=2gbit --app WS=9gbit --app KVS=9gbit --app ML=9gbit")
+        fv_main([
+            "simulate", str(script), "--link", "10gbit",
+            "--app", "NC=2gbit", "--app", "WS=9gbit",
+            "--app", "KVS=9gbit", "--app", "ML=9gbit",
+            "--duration", "5",
+        ])
+
+
+if __name__ == "__main__":
+    main()

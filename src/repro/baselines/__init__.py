@@ -1,0 +1,33 @@
+"""Baseline schedulers the paper compares against.
+
+* :mod:`.qdisc_base` — the classful qdisc interface and FIFO leaf
+  queues shared by the kernel models;
+* :mod:`.prio` — the PRIO qdisc (strict bands);
+* :mod:`.htb` — Hierarchy Token Bucket with ceil/borrowing and
+  quantum-weighted DRR;
+* :mod:`.kernel` — the kernel execution model around a qdisc: the
+  global qdisc lock, enqueue on app cores, batched softirq dequeue,
+  and the contention artifacts [23] that make kernel HTB inaccurate
+  at 10 Gbit+ (Fig. 3);
+* :mod:`.dpdk_qos` — the DPDK QoS Scheduler: accurate hierarchical
+  shaping on dedicated polling cores with a per-packet cycle cost
+  (Fig. 13's CPU-for-throughput trade).
+"""
+
+from .qdisc_base import LeafQueue, Qdisc
+from .prio import PrioQdisc
+from .htb import HtbClass, HtbQdisc
+from .kernel import KernelQdiscRuntime, KernelParams
+from .dpdk_qos import DpdkQosParams, DpdkQosScheduler
+
+__all__ = [
+    "LeafQueue",
+    "Qdisc",
+    "PrioQdisc",
+    "HtbClass",
+    "HtbQdisc",
+    "KernelQdiscRuntime",
+    "KernelParams",
+    "DpdkQosParams",
+    "DpdkQosScheduler",
+]

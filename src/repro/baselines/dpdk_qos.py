@@ -1,0 +1,194 @@
+"""The DPDK QoS Scheduler model.
+
+``librte_sched`` implements hierarchical shaping (port → subport →
+pipe → traffic class → queue) in userspace on dedicated poll-mode
+cores. Its shaping is *accurate* — the paper confirms "good rate
+conformance" — but every packet costs ~a thousand CPU cycles of
+enqueue/dequeue work (prefetching, bitmap scans, token updates), and
+the thread-safety requirements around its queues make multi-core
+scaling lossy (§V-B's analysis: spinlock primitives and cache-line
+bouncing).
+
+The model reuses the HTB class-tree algorithm for the shaping math
+(rates + ceilings + WRR ≈ the same token arithmetic, minus the kernel
+artifacts: no lock-contention inflation, microsecond timers) and adds:
+
+* a per-packet cycle budget, calibrated so one 2.3 GHz core schedules
+  ≈2.25 Mpps (Fig. 13's 1518 B row);
+* a scaling-efficiency curve for multi-core deployments;
+* poll-mode CPU accounting — a scheduler core is 100% busy whether or
+  not packets flow, which is exactly the CPU cost FlowValve's offload
+  saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from ..net.link import Link
+from ..net.packet import DropReason, Packet
+from ..sim import Store
+from .qdisc_base import Qdisc
+
+__all__ = ["DpdkQosParams", "DpdkQosScheduler"]
+
+
+@dataclass(frozen=True)
+class DpdkQosParams:
+    """Cost model of librte_sched on one host.
+
+    ``cycles_per_packet`` covers enqueue + dequeue + classification;
+    1022 cycles at 2.3 GHz ≈ 2.25 Mpps per core, matching the paper's
+    measurement (Fig. 13: one core schedules 1518 B at 2.25 Mpps, four
+    cores schedule 64 B at 9.06 Mpps ⇒ ~2.27 Mpps/core).
+    """
+
+    cycles_per_packet: float = 1022.0
+    core_freq_hz: float = 2.3e9
+    #: Multi-core scaling efficiency per added core (cache-line and
+    #: lock overheads); effective capacity = n × per-core × eff(n).
+    scaling_efficiency: float = 0.995
+    #: Input ring capacity (packets); senders tail-drop beyond it.
+    input_ring: int = 4096
+    #: Packets processed per poll iteration.
+    burst: int = 32
+    #: Idle poll interval when no work is pending.
+    idle_poll: float = 2e-6
+
+    def scaled(self, rate_scale: float) -> "DpdkQosParams":
+        """Stretch time constants for a rate-scaled experiment."""
+        return replace(
+            self,
+            core_freq_hz=self.core_freq_hz / rate_scale,
+            idle_poll=self.idle_poll * rate_scale,
+        )
+
+    def capacity_pps(self, n_cores: int) -> float:
+        """Aggregate scheduling capacity of *n_cores*."""
+        per_core = self.core_freq_hz / self.cycles_per_packet
+        return n_cores * per_core * (self.scaling_efficiency ** max(0, n_cores - 1))
+
+
+class DpdkQosScheduler:
+    """Poll-mode hierarchical scheduler on dedicated cores.
+
+    Parameters
+    ----------
+    sim: shared simulator.
+    qdisc: the shaping algorithm (an :class:`HtbQdisc` built from the
+        experiment policy, with kernel artifacts disabled).
+    link: egress wire.
+    n_cores: dedicated scheduler cores.
+    params: cost model.
+    cores: optional list of :class:`~repro.host.cpu.CpuCore` ledgers to
+        charge poll-mode busy time to (one per scheduler core).
+    on_drop: drop hook (feeds TCP loss signals).
+    """
+
+    def __init__(
+        self,
+        sim,
+        qdisc: Qdisc,
+        link: Link,
+        n_cores: int = 1,
+        params: Optional[DpdkQosParams] = None,
+        cores: Optional[List] = None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ):
+        if n_cores < 1:
+            raise ValueError("DPDK QoS needs at least one core")
+        self.sim = sim
+        self.qdisc = qdisc
+        self.link = link
+        self.n_cores = n_cores
+        self.params = params if params is not None else DpdkQosParams()
+        self.cores = cores or []
+        self.on_drop = on_drop
+        self.input = Store(sim, capacity=self.params.input_ring, name="dpdk-input")
+        # Effective per-packet service time across the core pool.
+        self._service_time = 1.0 / self.params.capacity_pps(n_cores)
+        # --- statistics ------------------------------------------------
+        self.submitted = 0
+        self.transmitted = 0
+        self.dropped = 0
+        self.input_drops = 0
+        self._last_charge = sim.now
+        self._loop = sim.process(self._poll_loop())
+
+    # ------------------------------------------------------------------
+    def submit(self, packet: Packet) -> bool:
+        """Sender-side handoff into the scheduler's input ring."""
+        self.submitted += 1
+        if self.input.try_put(packet):
+            return True
+        self.input_drops += 1
+        self._drop(packet, DropReason.QUEUE_FULL)
+        return False
+
+    def _drop(self, packet: Packet, reason: DropReason) -> None:
+        if not packet.dropped:
+            packet.mark_dropped(reason)
+        self.dropped += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def _charge_poll_time(self) -> None:
+        """Poll-mode cores burn 100% CPU regardless of traffic."""
+        now = self.sim.now
+        elapsed = now - self._last_charge
+        if elapsed <= 0:
+            return
+        self._last_charge = now
+        for core in self.cores:
+            core.charge("sched:dpdk-poll", elapsed)
+
+    # ------------------------------------------------------------------
+    def _poll_loop(self):
+        params = self.params
+        while True:
+            did_work = False
+            # --- enqueue phase -------------------------------------
+            for _ in range(params.burst):
+                packet = self.input.try_get()
+                if packet is None:
+                    break
+                did_work = True
+                yield self._service_time / 2  # enqueue half of the budget
+                if not self.qdisc.enqueue(packet, self.sim.now):
+                    self.dropped += 1
+                    if self.on_drop is not None:
+                        self.on_drop(packet)
+            # --- dequeue phase -------------------------------------
+            for _ in range(params.burst):
+                # The CPU writes Tx descriptors and moves on — it never
+                # waits out serialisation (NIC DMA overlaps with the
+                # next dequeue). It only pauses when the device ring is
+                # ahead by more than a burst's worth of wire time.
+                backlog = self.link.busy_until() - self.sim.now
+                lead_limit = params.burst * 12_320.0 / self.link.rate_bps
+                if backlog > lead_limit:
+                    break
+                packet = self.qdisc.dequeue(self.sim.now)
+                if packet is None:
+                    break
+                did_work = True
+                yield self._service_time / 2  # dequeue half of the budget
+                self.link.send(packet)
+                self.transmitted += 1
+            self._charge_poll_time()
+            if not did_work:
+                ready = self.qdisc.next_ready_time(self.sim.now)
+                if ready is not None and ready > self.sim.now:
+                    yield min(ready - self.sim.now, 100 * params.idle_poll)
+                else:
+                    yield params.idle_poll
+
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> str:
+        """One-line status for reports."""
+        return (
+            f"dpdk-qos[{self.n_cores} cores]: in={self.submitted} "
+            f"tx={self.transmitted} drop={self.dropped} "
+            f"(input_ring={self.input_drops}) backlog={self.qdisc.backlog}"
+        )

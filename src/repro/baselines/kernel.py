@@ -1,0 +1,241 @@
+"""The kernel execution model around a qdisc.
+
+A qdisc algorithm is only half the story — Fig. 3's inaccuracies come
+from *how the kernel runs it* [23]:
+
+* every enqueue and every dequeue takes the **global qdisc lock**; at
+  multi-gigabit packet rates the lock itself saturates, capping
+  throughput and stalling app threads;
+* dequeue happens in **batched softirq quotas**, so rate checks act on
+  slightly stale state;
+* under contention, timestamps read by the token refill path lag
+  reality, systematically over-crediting buckets — the ceiling
+  overshoot (≈12 Gbit through a 10 Gbit root in the paper's Fig. 3).
+
+:class:`KernelQdiscRuntime` models these as: a lock-op budget (ops/s),
+per-packet CPU costs charged to app/softirq cores, a softirq drain
+loop with watchdog timers, and a refill-inflation factor driven by the
+measured lock utilisation (mechanism from [23], magnitude calibrated
+to the paper's observation — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+from ..net.link import Link
+from ..net.packet import DropReason, Packet
+from ..stats.rates import EwmaRate
+from .qdisc_base import Qdisc
+
+__all__ = ["KernelParams", "KernelQdiscRuntime"]
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """Cost model of the kernel send path.
+
+    Defaults describe a ~2.3 GHz core. ``lock_hold`` bounds the global
+    qdisc lock to ~1.25 M ops/s — with one enqueue plus one dequeue
+    per packet that caps a single qdisc near 625 k pps (≈7.7 Gbit of
+    1518 B frames), which is why kernel HTB cannot drive 40 Gbit and
+    struggles at 10 (§V's "omit tests on HTB above 10 Gbit").
+    """
+
+    #: CPU seconds charged to the sending app per enqueue.
+    enqueue_cost: float = 1.1e-6
+    #: CPU seconds charged to the softirq core per dequeue.
+    dequeue_cost: float = 0.9e-6
+    #: Global qdisc lock hold time per operation (enqueue or dequeue).
+    #: 0.4 µs ⇒ 2.5 M lock ops/s: at 10 Gbit of 1518 B frames (833 k
+    #: pps, one enqueue + one dequeue each) the lock runs at ~70% —
+    #: busy enough to trigger the staleness inflation while leaving the
+    #: inflated token grant (not the lock) as the binding constraint,
+    #: which is what lets the >10 Gbit overshoot of Fig. 3 materialise.
+    lock_hold: float = 0.4e-6
+    #: Packets drained per softirq batch (dev_weight-ish quota).
+    quota: int = 64
+    #: Watchdog timer resolution: throttled-class wakeups round up.
+    timer_resolution: float = 1e-4
+    #: Refill inflation at full lock utilisation: the calibrated
+    #: magnitude of the [23] staleness artifact (1.25 → up to +25%
+    #: over-credit when the lock is saturated).
+    inflation_at_saturation: float = 0.25
+    #: EWMA time constant for the lock-utilisation estimate.
+    utilization_tau: float = 0.05
+
+    def scaled(self, rate_scale: float) -> "KernelParams":
+        """Stretch all time constants for a rate-scaled experiment."""
+        return replace(
+            self,
+            enqueue_cost=self.enqueue_cost * rate_scale,
+            dequeue_cost=self.dequeue_cost * rate_scale,
+            lock_hold=self.lock_hold * rate_scale,
+            timer_resolution=self.timer_resolution * rate_scale,
+            utilization_tau=self.utilization_tau * rate_scale,
+        )
+
+
+class KernelQdiscRuntime:
+    """Drives a :class:`~repro.baselines.qdisc_base.Qdisc` the way the
+    kernel does, and transmits onto a :class:`~repro.net.link.Link`.
+
+    Parameters
+    ----------
+    sim: shared simulator.
+    qdisc: the scheduling algorithm (PRIO, HTB, ...).
+    link: egress wire.
+    params: cost model (pre-scaled for rate-scaled experiments).
+    softirq_core: optional CPU ledger for the dequeue path.
+    on_drop: drop hook (feeds TCP loss signals).
+    """
+
+    def __init__(
+        self,
+        sim,
+        qdisc: Qdisc,
+        link: Link,
+        params: Optional[KernelParams] = None,
+        softirq_core=None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ):
+        self.sim = sim
+        self.qdisc = qdisc
+        self.link = link
+        self.params = params if params is not None else KernelParams()
+        self.softirq_core = softirq_core
+        self.on_drop = on_drop
+        #: Per-app CPU ledgers for the enqueue path.
+        self._app_cores: Dict[str, object] = {}
+        #: Lock utilisation estimator (fraction of time the lock is held).
+        self._lock_load = EwmaRate(tau=self.params.utilization_tau)
+        self._work_signal = None
+        # --- statistics ------------------------------------------------
+        self.enqueued = 0
+        self.transmitted = 0
+        self.dropped = 0
+        self.lock_overrun_drops = 0
+        self._lock_tokens = 1.0  # seconds of lock time available
+        self._lock_refill_at = sim.now
+        self._drain = sim.process(self._softirq())
+
+    # ------------------------------------------------------------------
+    def register_app_core(self, app: str, core) -> None:
+        """Charge *app*'s enqueues to *core* from now on."""
+        self._app_cores[app] = core
+
+    @property
+    def lock_utilization(self) -> float:
+        """EWMA fraction of wall time the qdisc lock is held."""
+        return min(1.0, self._lock_load.rate(self.sim.now))
+
+    def _consume_lock(self, now: float) -> bool:
+        """Take one lock slot; False when the lock budget is exhausted
+        (the op would have had to spin — we model that as loss of the
+        enqueue opportunity)."""
+        hold = self.params.lock_hold
+        # Replenish the budget: 1 second of lock time per second.
+        dt = now - self._lock_refill_at
+        if dt > 0:
+            self._lock_tokens = min(0.01 + hold, self._lock_tokens + dt)
+            self._lock_refill_at = now
+        if self._lock_tokens < hold:
+            return False
+        self._lock_tokens -= hold
+        self._lock_load.observe(now, hold)
+        return True
+
+    def _current_inflation(self) -> float:
+        return 1.0 + self.params.inflation_at_saturation * self.lock_utilization
+
+    # ------------------------------------------------------------------
+    # enqueue path (called synchronously by senders)
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """The app thread's qdisc enqueue: classify + queue under the
+        global lock. Returns False when the packet was dropped."""
+        now = self.sim.now
+        core = self._app_cores.get(packet.app)
+        if core is not None:
+            core.charge(f"sched:enqueue:{packet.app}", self.params.enqueue_cost)
+        if not self._consume_lock(now):
+            self.lock_overrun_drops += 1
+            self._drop(packet, DropReason.POLICER)
+            return False
+        accepted = self.qdisc.enqueue(packet, now)
+        if accepted:
+            self.enqueued += 1
+            self._kick()
+        else:
+            self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(packet)
+        return accepted
+
+    #: Alias so runtimes and NIC pipelines are interchangeable as
+    #: sender targets.
+    submit = enqueue
+
+    def _drop(self, packet: Packet, reason: DropReason) -> None:
+        if not packet.dropped:
+            packet.mark_dropped(reason)
+        self.dropped += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def _kick(self) -> None:
+        signal = self._work_signal
+        if signal is not None and not signal.triggered:
+            self._work_signal = None
+            signal.succeed()
+
+    # ------------------------------------------------------------------
+    # softirq drain loop
+    # ------------------------------------------------------------------
+    def _softirq(self):
+        params = self.params
+        while True:
+            sent_in_batch = 0
+            while sent_in_batch < params.quota:
+                now = self.sim.now
+                if hasattr(self.qdisc, "refill_inflation"):
+                    self.qdisc.refill_inflation = self._current_inflation()
+                if not self._consume_lock(now):
+                    # Lock saturated: back off one hold time.
+                    yield params.lock_hold
+                    continue
+                packet = self.qdisc.dequeue(now)
+                if packet is None:
+                    break
+                if self.softirq_core is not None:
+                    self.softirq_core.charge("sched:softirq", params.dequeue_cost)
+                finish = self.link.send(packet)
+                self.transmitted += 1
+                sent_in_batch += 1
+                # Pace at the slower of wire and CPU.
+                yield max(finish - self.sim.now, params.dequeue_cost)
+            # Batch over: wait for more work or the watchdog.
+            ready = self.qdisc.next_ready_time(self.sim.now)
+            if ready is None:
+                self._work_signal = self.sim.event()
+                yield self._work_signal
+            elif ready > self.sim.now:
+                # Watchdog wakeups land on the timer grid.
+                delay = ready - self.sim.now
+                remainder = delay % params.timer_resolution
+                if remainder:
+                    delay += params.timer_resolution - remainder
+                yield delay
+            else:
+                # More work immediately; loop (yield 0 keeps fairness).
+                yield 0.0
+
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> str:
+        """One-line status for reports."""
+        return (
+            f"kernel-qdisc: enq={self.enqueued} tx={self.transmitted} "
+            f"drop={self.dropped} lock_overrun={self.lock_overrun_drops} "
+            f"lock_util={self.lock_utilization:.2f} backlog={self.qdisc.backlog}"
+        )

@@ -1,0 +1,86 @@
+"""The classful qdisc interface (paper §III-A).
+
+Classful packet scheduling in the kernel is a classifier, multiple
+queues, and a scheduler: egress packets match filter rules into class
+queues, and the scheduler serves those queues. The two concrete
+schedulers (:class:`~repro.baselines.prio.PrioQdisc`,
+:class:`~repro.baselines.htb.HtbQdisc`) implement this interface; the
+kernel runtime (:mod:`.kernel`) drives ``enqueue``/``dequeue`` under
+the global qdisc lock.
+
+Unlike FlowValve (schedule-then-queue), qdiscs queue *before*
+scheduling — which is why they need the central queue and the lock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..net.packet import DropReason, Packet
+
+__all__ = ["LeafQueue", "Qdisc"]
+
+
+class LeafQueue:
+    """A bounded FIFO holding one class's backlog."""
+
+    def __init__(self, limit_packets: int = 1000):
+        self.limit = limit_packets
+        self._queue: Deque[Packet] = deque()
+        #: Packets rejected because the queue was full.
+        self.tail_drops = 0
+        #: High-water mark.
+        self.max_backlog = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(p.size for p in self._queue)
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue; False (and drop-marked) when at the limit."""
+        if len(self._queue) >= self.limit:
+            self.tail_drops += 1
+            packet.mark_dropped(DropReason.CLASS_QUEUE_FULL)
+            return False
+        self._queue.append(packet)
+        if len(self._queue) > self.max_backlog:
+            self.max_backlog = len(self._queue)
+        return True
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Optional[Packet]:
+        return self._queue.popleft() if self._queue else None
+
+
+class Qdisc:
+    """Interface the kernel runtime drives.
+
+    ``enqueue`` classifies and queues a packet (returns False on
+    drop); ``dequeue`` returns the next packet to transmit, or
+    ``None`` when empty or throttled; ``next_ready_time`` tells the
+    runtime when a throttled qdisc will have tokens again so it can
+    arm the watchdog timer, exactly like ``qdisc_watchdog`` in the
+    kernel.
+    """
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time ``dequeue`` may succeed again; ``None`` when
+        nothing is queued anywhere."""
+        raise NotImplementedError
+
+    @property
+    def backlog(self) -> int:
+        """Total queued packets."""
+        raise NotImplementedError

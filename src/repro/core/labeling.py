@@ -1,0 +1,98 @@
+"""The labeling function (paper Fig. 5, green arrow).
+
+An application packet first matches filter rules to be classified;
+the matched packet gets its QoS labels — the hierarchy class label and
+the borrowing class label — stored as metadata in the packet buffer.
+The exact-match flow cache short-circuits the rule walk for all but a
+flow's first packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import UnknownClassError
+from ..net.packet import DropReason, Packet
+from ..tc.ast import PolicyConfig
+from ..tc.classifier import Classifier
+from .flow_cache import ExactMatchCache
+from .labels import QosLabel
+from .sched_tree import SchedulingTree
+
+__all__ = ["LabelingFunction"]
+
+
+class LabelingFunction:
+    """Classifies packets and stamps QoS labels.
+
+    Parameters
+    ----------
+    tree: the scheduling tree (for hierarchy paths and borrow labels).
+    classifier: the compiled filter rules (slow path).
+    default_leaf: leaf class id for unmatched packets (from the root
+        qdisc's ``default`` option); ``None`` means unmatched packets
+        are dropped.
+    cache_size: EMC capacity; 0 disables caching (every packet walks
+        the rules — the "kernel-sized" slow path of Observation 2).
+    """
+
+    def __init__(
+        self,
+        tree: SchedulingTree,
+        classifier: Classifier,
+        default_leaf: Optional[str] = None,
+        cache_size: int = 65536,
+    ):
+        self.tree = tree
+        self.classifier = classifier
+        self.default_leaf = default_leaf
+        self.cache: Optional[ExactMatchCache[QosLabel]] = (
+            ExactMatchCache(cache_size) if cache_size > 0 else None
+        )
+        #: Precomputed label per leaf class id.
+        self._labels: Dict[str, QosLabel] = {}
+        for leaf in tree.leaves():
+            hierarchy = tuple(n.classid for n in leaf.path_from_root())
+            self._labels[leaf.classid] = QosLabel(hierarchy=hierarchy, borrow=leaf.spec.borrow)
+        if default_leaf is not None and default_leaf not in self._labels:
+            raise UnknownClassError(default_leaf)
+        #: Packets dropped because no rule (and no default) matched.
+        self.unclassified_drops = 0
+
+    def label_for_leaf(self, leaf_id: str) -> QosLabel:
+        """The precomputed label of a leaf class."""
+        try:
+            return self._labels[leaf_id]
+        except KeyError:
+            raise UnknownClassError(leaf_id) from None
+
+    def label(self, packet: Packet, now: float = 0.0) -> Optional[QosLabel]:
+        """Classify *packet*, stamp and return its label.
+
+        Returns ``None`` (and marks the packet dropped) when no rule
+        matches and the policy has no default class.
+        """
+        cache = self.cache
+        key = (packet.flow, packet.vf_index)
+        if cache is not None:
+            cached = cache.get(key, now)
+            if cached is not None:
+                cached.apply_to(packet)
+                return cached
+        leaf_id = self.classifier.classify(packet)
+        if leaf_id is None:
+            leaf_id = self.default_leaf
+        if leaf_id is None:
+            self.unclassified_drops += 1
+            packet.mark_dropped(DropReason.UNCLASSIFIED)
+            return None
+        label = self.label_for_leaf(leaf_id)
+        if cache is not None:
+            cache.put(key, label, now)
+        label.apply_to(packet)
+        return label
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """EMC hit ratio (0.0 when caching is disabled)."""
+        return self.cache.hit_ratio if self.cache is not None else 0.0

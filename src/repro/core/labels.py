@@ -1,0 +1,66 @@
+"""QoS labels (paper §IV-B).
+
+A label has two parts:
+
+* the **hierarchy class label** — the root-to-leaf sequence of class
+  ids a packet belongs to, telling the scheduling function which tree
+  nodes to update (e.g. ``S0 → S1 → S2 → ML``);
+* the **borrowing class label** — the lender classes whose shadow
+  buckets may be queried, in order, when the packet's own leaf bucket
+  is red.
+
+On the real NIC these are metadata fields in the packet buffer; here
+they are tuples stamped onto :class:`~repro.net.packet.Packet` by the
+labeling function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["QosLabel"]
+
+
+@dataclass(frozen=True)
+class QosLabel:
+    """An immutable (hierarchy, borrowing) label pair.
+
+    Frozen and hashable so the exact-match flow cache can store labels
+    directly as values and compare them cheaply.
+    """
+
+    #: Root-to-leaf class ids; the last element is the leaf class.
+    hierarchy: Tuple[str, ...]
+    #: Lender class ids queried in order on a red meter result.
+    borrow: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.hierarchy:
+            raise ValueError("hierarchy label must name at least the leaf class")
+
+    @property
+    def leaf(self) -> str:
+        """The leaf class id."""
+        return self.hierarchy[-1]
+
+    @property
+    def root(self) -> str:
+        """The root class id."""
+        return self.hierarchy[0]
+
+    @property
+    def depth(self) -> int:
+        """Number of classes on the path (root included)."""
+        return len(self.hierarchy)
+
+    def apply_to(self, packet) -> None:
+        """Stamp this label onto *packet*'s metadata fields."""
+        packet.hierarchy_label = self.hierarchy
+        packet.borrow_label = self.borrow
+
+    def __str__(self) -> str:
+        path = "->".join(self.hierarchy)
+        if self.borrow:
+            return f"{path} [borrow: {','.join(self.borrow)}]"
+        return path

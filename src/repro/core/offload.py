@@ -1,0 +1,179 @@
+"""Offloading kernel qdisc configurations — including chained ones.
+
+The paper's §III-E/§IV: "FlowValve can fully offload PRIO and HTB
+meanwhile support qdisc chaining." An administrator who already runs
+kernel traffic control has configurations like::
+
+    tc qdisc add dev eth0 root handle 1: prio bands 3
+    tc qdisc add dev eth0 parent 1:2 handle 2: htb default 30
+    tc class add dev eth0 parent 2: classid 2:1 htb rate 8gbit
+    tc class add dev eth0 parent 2:1 classid 2:10 htb rate 2gbit ...
+
+i.e. a PRIO qdisc whose band feeds a *chained* HTB qdisc. FlowValve
+executes such hierarchies as **one** scheduling tree: PRIO bands
+become priority-ordered classes, an HTB chained under a band becomes
+that class's subtree, and HTB's rate/ceil map onto the guarantee/ceil
+condition templates. The chaining itself needs no extra machinery at
+runtime — exactly the paper's point that runtime rate estimation keeps
+adjusting the fill rates across what used to be separate qdiscs.
+
+:func:`compile_offload` performs that translation: a multi-qdisc
+:class:`~repro.tc.ast.PolicyConfig` in, a single-tree policy out,
+ready for :class:`~repro.core.frontend.FlowValveFrontend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import PolicyError
+from ..tc.ast import ClassSpec, FilterSpec, PolicyConfig, QdiscSpec, parse_classid
+
+__all__ = ["compile_offload"]
+
+#: Synthetic major number for the compiled tree's ids.
+_OFFLOAD_MAJOR = 0xF
+
+
+def compile_offload(policy: PolicyConfig, link_rate_bps: float) -> PolicyConfig:
+    """Compile a (possibly chained) kernel tc configuration into a
+    single-tree ``fv`` policy.
+
+    Supported inputs:
+
+    * a single HTB or fv qdisc — passed through unchanged (already a
+      single tree);
+    * a root PRIO qdisc with zero or more HTB qdiscs chained under its
+      bands. Bands become priority classes ``f:b1..f:bN``; a chained
+      HTB's class tree is grafted (with rewritten ids) under its band;
+      filters targeting either layer are rewritten to the grafted leaf
+      ids.
+
+    Raises :class:`PolicyError` for shapes outside that set (e.g. a
+    PRIO chained under another PRIO — also unsupported by the paper's
+    prototype).
+    """
+    root_qdisc = policy.root_qdisc()
+    if root_qdisc.kind in ("htb", "fv"):
+        if len(policy.qdiscs) > 1:
+            raise PolicyError(
+                "chaining under an HTB root is not supported (the paper chains "
+                "HTB under PRIO bands); express the hierarchy as HTB classes instead"
+            )
+        return policy
+
+    if root_qdisc.kind != "prio":
+        raise PolicyError(f"cannot offload root qdisc kind {root_qdisc.kind!r}")
+
+    compiled = PolicyConfig()
+    compiled.add_qdisc(QdiscSpec(kind="fv", handle=f"{_OFFLOAD_MAJOR:x}:"))
+    root_id = f"{_OFFLOAD_MAJOR:x}:1"
+    compiled.add_class(
+        ClassSpec(classid=root_id, parent=f"{_OFFLOAD_MAJOR:x}:",
+                  rate=link_rate_bps, ceil=link_rate_bps)
+    )
+
+    # --- bands become priority-ordered children of the root ----------
+    band_ids: List[str] = []
+    chained: Dict[int, QdiscSpec] = _chained_qdiscs(policy, root_qdisc)
+    for band in range(root_qdisc.bands):
+        band_id = f"{_OFFLOAD_MAJOR:x}:b{band + 1:x}"
+        band_ids.append(band_id)
+        compiled.add_class(
+            ClassSpec(classid=band_id, parent=root_id, rate=link_rate_bps, prio=band)
+        )
+
+    # --- graft chained HTB trees under their bands ---------------------
+    id_map: Dict[str, str] = {}
+    for band, sub_qdisc in chained.items():
+        band_id = band_ids[band]
+        top = policy.children_of(sub_qdisc.handle)
+        if len(top) != 1:
+            raise PolicyError(
+                f"chained qdisc {sub_qdisc.handle} must have exactly one top class"
+            )
+        _graft(policy, compiled, top[0], band_id, id_map)
+
+    # --- rewrite borrow labels (may reference later-grafted classes) ---
+    for spec in compiled.classes:
+        if spec.borrow:
+            spec.borrow = tuple(id_map.get(b, b) for b in spec.borrow)
+
+    # --- rewrite filters -------------------------------------------------
+    for filt in policy.filters:
+        compiled.add_filter(FilterSpec(
+            flowid=_rewrite_flowid(filt.flowid, root_qdisc, band_ids, id_map),
+            match=dict(filt.match),
+            prio=filt.prio,
+            parent=f"{_OFFLOAD_MAJOR:x}:",
+        ))
+    return compiled
+
+
+def _chained_qdiscs(policy: PolicyConfig, root: QdiscSpec) -> Dict[int, QdiscSpec]:
+    """Map band index -> qdisc chained under that band."""
+    chained: Dict[int, QdiscSpec] = {}
+    root_major, _ = parse_classid(root.handle)
+    for qdisc in policy.qdiscs:
+        if qdisc is root:
+            continue
+        if qdisc.kind != "htb":
+            raise PolicyError(
+                f"only HTB may be chained under PRIO bands, got {qdisc.kind!r}"
+            )
+        major, minor = parse_classid(qdisc.parent)
+        if major != root_major or minor == 0:
+            raise PolicyError(
+                f"chained qdisc {qdisc.handle} must attach to a band of {root.handle}"
+            )
+        band = minor - 1
+        if band >= root.bands:
+            raise PolicyError(f"band {minor} out of range for {root.bands}-band PRIO")
+        if band in chained:
+            raise PolicyError(f"band {minor} has two chained qdiscs")
+        chained[band] = qdisc
+    return chained
+
+
+def _graft(
+    source: PolicyConfig,
+    compiled: PolicyConfig,
+    spec: ClassSpec,
+    new_parent: str,
+    id_map: Dict[str, str],
+) -> None:
+    """Copy *spec*'s subtree under *new_parent* with rewritten ids."""
+    major, minor = parse_classid(spec.classid)
+    new_id = f"{_OFFLOAD_MAJOR:x}:{major:x}{minor:x}"
+    id_map[spec.classid] = new_id
+    compiled.add_class(ClassSpec(
+        classid=new_id,
+        parent=new_parent,
+        rate=spec.rate,
+        ceil=spec.ceil,
+        weight=spec.weight,
+        prio=spec.prio,
+        guarantee=spec.guarantee,
+        guarantee_threshold=spec.guarantee_threshold,
+        # Borrow labels are rewritten in a second pass below; HTB specs
+        # don't carry them, fv ones might.
+        borrow=spec.borrow,
+    ))
+    for child in source.children_of(spec.classid):
+        _graft(source, compiled, child, new_id, id_map)
+
+
+def _rewrite_flowid(
+    flowid: str,
+    root: QdiscSpec,
+    band_ids: List[str],
+    id_map: Dict[str, str],
+) -> str:
+    """Translate a filter target from either layer to the new tree."""
+    if flowid in id_map:
+        return id_map[flowid]
+    root_major, _ = parse_classid(root.handle)
+    major, minor = parse_classid(flowid)
+    if major == root_major and 1 <= minor <= root.bands:
+        return band_ids[minor - 1]
+    raise PolicyError(f"filter flowid {flowid!r} matches no band or chained class")

@@ -1,0 +1,267 @@
+"""Condition templates: how a class's token rate θ is derived.
+
+The paper (§IV-C) drives all bandwidth distribution through one knob —
+the token fill rate of each class's bucket, recomputed at every update
+epoch from *measured* sibling behaviour:
+
+* Eq. 2 — a user-specified bandwidth maps linearly to a token rate
+  (we keep rates in bit/s; see :mod:`.token_bucket` for the unit note);
+* Eq. 4 — priority: a less-prior class gets the parent rate minus the
+  measured consumption Γ of its prior siblings;
+* Eq. 5 — weight: siblings split the parent rate proportionally;
+* §IV-C3 — other conditions (ceilings, guarantees) compose with these.
+
+``SiblingShare`` implements the general computation (priority groups +
+weights + guarantee reservations + the guarantee-threshold fallback of
+the motivation example); the named rule classes are thin views over it
+that exist so each paper equation has a directly-testable object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sched_tree import ClassNode
+
+__all__ = [
+    "RuleContext",
+    "RateRule",
+    "FixedRate",
+    "FullParentRate",
+    "WeightedShare",
+    "PriorityResidual",
+    "GuaranteedResidual",
+    "SiblingShare",
+    "CeilCap",
+]
+
+#: Effective priority of a class with no ``prio`` option: lower numbers
+#: are served first, so "no priority" sorts after every numbered class.
+NO_PRIO = math.inf
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may look at when computing θ.
+
+    ``node`` is the class being re-rated; ``now`` is the update epoch
+    timestamp. Rules read *published* sibling state (θ, Γ, activity) —
+    mirroring that on the NIC they read shared memory written by other
+    cores' update stages, which is what produces the propagation delay
+    analysed in Fig. 10.
+    """
+
+    node: "ClassNode"
+    now: float
+
+    @property
+    def parent_theta(self) -> float:
+        """θ of the parent class (the root reads its own fixed rate)."""
+        parent = self.node.parent
+        if parent is None:
+            return self.node.theta
+        return parent.theta
+
+
+class RateRule:
+    """Base class: ``compute`` returns the new token rate in bit/s."""
+
+    def compute(self, ctx: RuleContext) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return type(self).__name__
+
+
+class FixedRate(RateRule):
+    """θ is a constant — Eq. 2's direct conversion of a user-specified
+    bandwidth. Used for root classes (the link/ceiling rate)."""
+
+    def __init__(self, rate_bps: float):
+        if rate_bps < 0:
+            raise ValueError(f"rate must be non-negative, got {rate_bps}")
+        self.rate_bps = rate_bps
+
+    def compute(self, ctx: RuleContext) -> float:
+        return self.rate_bps
+
+    def describe(self) -> str:
+        return f"fixed({self.rate_bps:.0f}bps)"
+
+
+class FullParentRate(RateRule):
+    """θ = θ_parent — the unrestricted highest-priority class (NC in
+    the motivation example may consume any amount of available tokens)."""
+
+    def compute(self, ctx: RuleContext) -> float:
+        return ctx.parent_theta
+
+    def describe(self) -> str:
+        return "full-parent"
+
+
+def _eff_prio(node: "ClassNode") -> float:
+    prio = node.spec.prio
+    return NO_PRIO if prio is None else float(prio)
+
+
+def _guarantee_regime(peers: List["ClassNode"], parent_theta: float) -> bool:
+    """True when priority+guarantee semantics apply; False when the
+    parent rate is below every guaranteed sibling's threshold, which
+    suspends priorities in favour of plain weighted sharing (the
+    "ML and KVS share 1:1 below 4 Gbps" condition)."""
+    thresholds = [
+        peer.spec.guarantee_threshold
+        for peer in peers
+        if peer.spec.guarantee is not None and peer.spec.guarantee_threshold is not None
+    ]
+    if not thresholds:
+        return True
+    return parent_theta >= max(thresholds)
+
+
+def sibling_share(node: "ClassNode", parent_theta: float, now: float) -> float:
+    """The general sibling computation (see module docstring).
+
+    Walks the parent's children in priority order. Classes in groups
+    more prior than *node* subtract their measured consumption Γ from
+    the available rate (Eq. 4); *node*'s own group splits the remainder
+    by weight (Eq. 5) after reserving the guarantees of *active*
+    less-prior siblings; finally *node*'s own guarantee floors the
+    result.
+    """
+    parent = node.parent
+    if parent is None:
+        return parent_theta
+    peers = parent.children
+
+    if not _guarantee_regime(peers, parent_theta):
+        # Guarantee threshold not met: plain weighted sharing across
+        # every sibling, priorities suspended.
+        total_weight = sum(peer.spec.weight for peer in peers)
+        return parent_theta * node.spec.weight / total_weight
+
+    my_prio = _eff_prio(node)
+    available = parent_theta
+
+    # Subtract the measured demand of strictly more-prior siblings.
+    # The estimator is the decaying *peak* of their per-epoch usage:
+    # a prior TCP flow's sawtooth troughs are not spare bandwidth.
+    for peer in peers:
+        if peer is node:
+            continue
+        if _eff_prio(peer) < my_prio:
+            available -= max(peer.gamma_rate, peer.gamma_peak) if peer.is_active(now) else 0.0
+    available = max(0.0, available)
+
+    # Reserve guarantees of strictly less-prior siblings that are
+    # actively sending (an idle class's guarantee costs nothing).
+    reserved = 0.0
+    for peer in peers:
+        if peer is node:
+            continue
+        if _eff_prio(peer) > my_prio and peer.spec.guarantee is not None and peer.is_active(now):
+            reserved += min(peer.spec.guarantee, available - reserved)
+    share_base = max(0.0, available - reserved)
+
+    # Split within the equal-priority group by weight.
+    group = [peer for peer in peers if _eff_prio(peer) == my_prio]
+    group_weight = sum(peer.spec.weight for peer in group)
+    theta = share_base * node.spec.weight / group_weight
+
+    # Own guarantee floors the result. The floor is taken against the
+    # parent rate, not the residual: a transiently greedy prior sibling
+    # must not be able to squeeze the guarantee to zero (it will see the
+    # reservation in its own next update and back off — the convergence
+    # dynamic of Fig. 10).
+    if node.spec.guarantee is not None:
+        theta = max(theta, min(node.spec.guarantee, parent_theta))
+    return theta
+
+
+class SiblingShare(RateRule):
+    """The workhorse rule: priority groups + weights + guarantees."""
+
+    def compute(self, ctx: RuleContext) -> float:
+        return sibling_share(ctx.node, ctx.parent_theta, ctx.now)
+
+    def describe(self) -> str:
+        return "sibling-share"
+
+
+class WeightedShare(SiblingShare):
+    """Eq. 5 — θ_child = θ_parent × w (weights normalised over the
+    sibling group). A documented alias of :class:`SiblingShare` for
+    nodes that configure only weights."""
+
+    def describe(self) -> str:
+        return "weighted-share"
+
+
+class PriorityResidual(SiblingShare):
+    """Eq. 4 — θ = θ_parent − Σ Γ_prior, the residual left by strictly
+    more-prior siblings. A documented alias of :class:`SiblingShare`
+    for nodes that configure priorities."""
+
+    def describe(self) -> str:
+        return "priority-residual"
+
+
+class GuaranteedResidual(SiblingShare):
+    """§II's conditional guarantee: at least ``guarantee`` bit/s when
+    the parent rate exceeds the threshold, weighted sharing below it.
+    A documented alias of :class:`SiblingShare` for guaranteed nodes."""
+
+    def describe(self) -> str:
+        return "guaranteed-residual"
+
+
+class CeilCap(RateRule):
+    """Wraps another rule and clamps its result to a ceiling —
+    §IV-C3's "restrict NC's ceiling bandwidth to ¾·B" template."""
+
+    def __init__(self, inner: RateRule, ceil_bps: float):
+        if ceil_bps <= 0:
+            raise ValueError(f"ceil must be positive, got {ceil_bps}")
+        self.inner = inner
+        self.ceil_bps = ceil_bps
+
+    def compute(self, ctx: RuleContext) -> float:
+        return min(self.inner.compute(ctx), self.ceil_bps)
+
+    def describe(self) -> str:
+        return f"min({self.inner.describe()}, {self.ceil_bps:.0f}bps)"
+
+
+def derive_rule(node: "ClassNode") -> RateRule:
+    """Select the condition template for *node* from its spec —
+    the paper's "appropriate calculations are selected for concrete
+    user policies".
+
+    * root → :class:`FixedRate` at its configured rate (or ceil);
+    * sole child with a priority and no guarantee/weight siblings at
+      higher priority → behaves as :class:`FullParentRate` through the
+      general computation;
+    * otherwise → :class:`SiblingShare`;
+    * a configured ``ceil`` wraps the result in :class:`CeilCap`.
+    """
+    spec = node.spec
+    if node.parent is None:
+        base_rate = spec.ceil if spec.ceil is not None else spec.rate
+        # Root grant leaves a little slack below the configured rate so
+        # the shared Tx FIFO can drain between bursts (see
+        # SchedulingParams.link_headroom).
+        rule: RateRule = FixedRate(base_rate * (1.0 - node.params.link_headroom))
+    else:
+        rule = SiblingShare()
+    if node.parent is not None and spec.ceil is not None:
+        rule = CeilCap(rule, spec.ceil)
+    return rule
+
+
+__all__.append("derive_rule")
+__all__.append("sibling_share")

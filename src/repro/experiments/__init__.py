@@ -1,0 +1,71 @@
+"""The evaluation harness: one module per paper figure/table.
+
+Each experiment builds a self-contained simulated testbed (host apps,
+scheduler under test, wire, receiver), runs it, and returns a typed
+result that the benchmark suite renders as the same rows/series the
+paper reports. See DESIGN.md §3 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from .base import (
+    ScaledSetup,
+    TimelineResult,
+    run_flowvalve_timeline,
+    run_kernel_htb_timeline,
+)
+from .policies import (
+    fair_policy,
+    motivation_policy,
+    motivation_htb_tree,
+    weighted_policy,
+)
+from .workloads import (
+    fair_queueing_demands,
+    motivation_demands,
+    weighted_demands,
+)
+from .fig03 import run_fig03
+from .fig11 import run_fig11a, run_fig11b, run_fig11c
+from .fig13 import Fig13Row, run_fig13
+from .fig14 import Fig14Row, run_fig14
+from .cpu_cores import CpuRow, run_cpu_comparison
+from .ablations import (
+    run_lock_mode_ablation,
+    run_propagation_delay,
+    run_update_interval_sensitivity,
+)
+from .tcp_realism import (
+    TcpRealismResult,
+    run_tcp_realism_shared,
+    tcp_realism_table,
+)
+
+__all__ = [
+    "ScaledSetup",
+    "TimelineResult",
+    "run_flowvalve_timeline",
+    "run_kernel_htb_timeline",
+    "fair_policy",
+    "motivation_policy",
+    "motivation_htb_tree",
+    "weighted_policy",
+    "fair_queueing_demands",
+    "motivation_demands",
+    "weighted_demands",
+    "run_fig03",
+    "run_fig11a",
+    "run_fig11b",
+    "run_fig11c",
+    "Fig13Row",
+    "run_fig13",
+    "Fig14Row",
+    "run_fig14",
+    "CpuRow",
+    "run_cpu_comparison",
+    "run_lock_mode_ablation",
+    "run_propagation_delay",
+    "run_update_interval_sensitivity",
+    "TcpRealismResult",
+    "run_tcp_realism_shared",
+    "tcp_realism_table",
+]

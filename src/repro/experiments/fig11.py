@@ -1,0 +1,54 @@
+"""E-F11 — Figure 11: FlowValve enforcing QoS policies.
+
+(a) the motivation policy on a 10 Gbit link (same workload as Fig. 3);
+(b) fair queueing across four apps at 40 Gbit with staggered joins;
+(c) the Fig. 12 weighted hierarchy at 40 Gbit.
+"""
+
+from __future__ import annotations
+
+from .base import ScaledSetup, TimelineResult, run_flowvalve_timeline
+from .policies import fair_policy, motivation_policy, weighted_policy
+from .workloads import fair_queueing_demands, motivation_demands, weighted_demands
+
+__all__ = ["run_fig11a", "run_fig11b", "run_fig11c"]
+
+
+def run_fig11a(
+    setup: ScaledSetup = ScaledSetup(nominal_link_bps=10e9, scale=200.0, wire_bps=10e9),
+    duration: float = 60.0,
+) -> TimelineResult:
+    """FlowValve on the motivation policy (paper Fig. 11a)."""
+    policy = motivation_policy(setup.link_bps)
+    demands = motivation_demands(setup.nominal_link_bps)
+    return run_flowvalve_timeline(
+        policy, demands, setup, duration=duration,
+        title="Fig. 11(a) — FlowValve, motivation policy at 10 Gbit",
+    )
+
+
+def run_fig11b(
+    setup: ScaledSetup = ScaledSetup(nominal_link_bps=40e9, scale=800.0, wire_bps=40e9),
+    duration: float = 60.0,
+) -> TimelineResult:
+    """FlowValve fair queueing at 40 Gbit (paper Fig. 11b)."""
+    policy = fair_policy(setup.link_bps, n_apps=4)
+    demands = fair_queueing_demands(n_apps=4, join_every=10.0, duration=duration)
+    return run_flowvalve_timeline(
+        policy, demands, setup, duration=duration,
+        title="Fig. 11(b) — FlowValve fair queueing at 40 Gbit",
+    )
+
+
+def run_fig11c(
+    setup: ScaledSetup = ScaledSetup(nominal_link_bps=40e9, scale=800.0, wire_bps=40e9),
+    duration: float = 60.0,
+) -> TimelineResult:
+    """FlowValve weighted fair queueing at 40 Gbit (paper Fig. 11c,
+    policies of Fig. 12)."""
+    policy = weighted_policy(setup.link_bps)
+    demands = weighted_demands(duration=duration)
+    return run_flowvalve_timeline(
+        policy, demands, setup, duration=duration,
+        title="Fig. 11(c) — FlowValve weighted fair queueing at 40 Gbit",
+    )

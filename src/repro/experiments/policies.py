@@ -1,0 +1,125 @@
+"""Policy definitions used across the experiments.
+
+All policies are expressed as ``fv`` scripts (parameterised by the
+link rate) so the experiments exercise the real front-end path:
+parse → validate → scheduling tree.
+"""
+
+from __future__ import annotations
+
+from ..baselines import HtbClass, HtbQdisc
+from ..tc.ast import PolicyConfig
+from ..tc.classifier import Classifier
+from ..tc.parser import parse_script
+from ..units import format_rate
+
+__all__ = [
+    "motivation_policy",
+    "motivation_htb_tree",
+    "fair_policy",
+    "weighted_policy",
+]
+
+
+def _rate(bps: float) -> str:
+    """Render a rate for an fv script (integer bit/s is always valid)."""
+    return f"{bps:.0f}"
+
+
+def motivation_policy(link_bps: float) -> PolicyConfig:
+    """The §II motivation example, scaled to *link_bps*.
+
+    * NC has strict priority (it is a management channel);
+    * the rest (S1) splits WS : vm1 = 1 : 2 by weight;
+    * inside vm1 (S2), KVS has priority over ML, but ML is guaranteed
+      ``link/5`` (2 Gbit on a 10 Gbit link) whenever S2's share
+      exceeds ``2·link/5`` (4 Gbit), weighted 1:1 below that;
+    * WS may reclaim vm1's idle share; KVS/ML may reclaim WS's.
+    """
+    b = link_bps
+    script = f"""
+    fv qdisc add dev eth0 root handle 1: fv default 0
+    fv class add dev eth0 parent 1: classid 1:1 fv rate {_rate(b)} ceil {_rate(b)}
+    fv class add dev eth0 parent 1:1 classid 1:10 fv prio 0 rate {_rate(b)}
+    fv class add dev eth0 parent 1:1 classid 1:2 fv prio 1 rate {_rate(0.8 * b)}
+    fv class add dev eth0 parent 1:2 classid 1:20 fv weight 1 borrow 1:3
+    fv class add dev eth0 parent 1:2 classid 1:3 fv weight 2
+    fv class add dev eth0 parent 1:3 classid 1:30 fv prio 0 rate {_rate(0.4 * b)} borrow 1:20
+    fv class add dev eth0 parent 1:3 classid 1:31 fv prio 1 rate {_rate(0.2 * b)} \
+        guarantee {_rate(0.2 * b)} threshold {_rate(0.4 * b)} borrow 1:20
+    fv filter add dev eth0 parent 1: match app=NC flowid 1:10
+    fv filter add dev eth0 parent 1: match app=WS flowid 1:20
+    fv filter add dev eth0 parent 1: match app=KVS flowid 1:30
+    fv filter add dev eth0 parent 1: match app=ML flowid 1:31
+    """
+    return parse_script(script)
+
+
+def motivation_htb_tree(link_bps: float, wire_bps: float, queue_limit: int = 100) -> HtbQdisc:
+    """The same policy expressed the way an administrator configures
+    kernel HTB (Fig. 3's setup): assured rates per class, ceilings at
+    the policy root, priority expressed via ``prio`` (which, per the
+    paper's observation, kernel HTB's borrowing does not honour)."""
+    from ..tc.ast import FilterSpec
+
+    b = link_bps
+    root = HtbClass("1:1", rate_bps=b, ceil_bps=b)
+    HtbClass("1:10", rate_bps=0.5 * b, ceil_bps=b, parent=root)           # NC
+    s1 = HtbClass("1:2", rate_bps=0.5 * b, ceil_bps=b, parent=root)
+    HtbClass("1:20", rate_bps=0.5 * b / 3, ceil_bps=b, parent=s1)          # WS
+    s2 = HtbClass("1:3", rate_bps=b / 3, ceil_bps=b, parent=s1)
+    HtbClass("1:30", rate_bps=b / 6, ceil_bps=b, parent=s2)                # KVS
+    HtbClass("1:31", rate_bps=b / 6, ceil_bps=b, parent=s2)                # ML
+    classifier = Classifier([
+        FilterSpec(flowid="1:10", match={"app": "NC"}),
+        FilterSpec(flowid="1:20", match={"app": "WS"}),
+        FilterSpec(flowid="1:30", match={"app": "KVS"}),
+        FilterSpec(flowid="1:31", match={"app": "ML"}),
+    ])
+    return HtbQdisc(root, classifier, queue_limit=queue_limit)
+
+
+def fair_policy(link_bps: float, n_apps: int = 4) -> PolicyConfig:
+    """Fair queueing across *n_apps* (the §V-A 40 Gbit experiment):
+    equal weights, every leaf may borrow every other leaf's idle
+    share."""
+    lines = [
+        "fv qdisc add dev eth0 root handle 1: fv default 0",
+        f"fv class add dev eth0 parent 1: classid 1:1 fv rate {_rate(link_bps)} ceil {_rate(link_bps)}",
+    ]
+    leaf_ids = [f"1:{0x10 + i:x}" for i in range(n_apps)]
+    for i, leaf in enumerate(leaf_ids):
+        others = ",".join(l for l in leaf_ids if l != leaf)
+        lines.append(
+            f"fv class add dev eth0 parent 1:1 classid {leaf} fv weight 1 borrow {others}"
+        )
+        lines.append(f"fv filter add dev eth0 parent 1: match app=App{i} flowid {leaf}")
+    return parse_script("\n".join(lines))
+
+
+def weighted_policy(link_bps: float) -> PolicyConfig:
+    """The Fig. 12 weighted hierarchy: App0:S1 = 1:1, App1:S2 = 1:1,
+    App2:App3 = 1:1 (so the nominal shares are 1/2, 1/4, 1/8, 1/8),
+    with unweighted borrowing across all leaves ("we do not enforce
+    weighted borrowing")."""
+    b = link_bps
+    leaves = {"App0": "1:10", "App1": "1:20", "App2": "1:30", "App3": "1:40"}
+
+    def borrows(mine: str) -> str:
+        return ",".join(v for v in leaves.values() if v != mine)
+
+    script = f"""
+    fv qdisc add dev eth0 root handle 1: fv default 0
+    fv class add dev eth0 parent 1: classid 1:1 fv rate {_rate(b)} ceil {_rate(b)}
+    fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1 borrow {borrows("1:10")}
+    fv class add dev eth0 parent 1:1 classid 1:2 fv weight 1
+    fv class add dev eth0 parent 1:2 classid 1:20 fv weight 1 borrow {borrows("1:20")}
+    fv class add dev eth0 parent 1:2 classid 1:3 fv weight 1
+    fv class add dev eth0 parent 1:3 classid 1:30 fv weight 1 borrow {borrows("1:30")}
+    fv class add dev eth0 parent 1:3 classid 1:40 fv weight 1 borrow {borrows("1:40")}
+    fv filter add dev eth0 parent 1: match app=App0 flowid 1:10
+    fv filter add dev eth0 parent 1: match app=App1 flowid 1:20
+    fv filter add dev eth0 parent 1: match app=App2 flowid 1:30
+    fv filter add dev eth0 parent 1: match app=App3 flowid 1:40
+    """
+    return parse_script(script)

@@ -1,0 +1,74 @@
+"""Workload timelines for the figure reproductions.
+
+The paper describes the *policies* precisely but only sketches the
+traffic timelines (staggered app starts/stops readable off the x-axes
+of Figs. 3 and 11). The reconstructions below are chosen so that every
+published claim about each figure has a phase that exercises it; the
+mapping is documented per function and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..host.traffic import windows
+
+__all__ = ["motivation_demands", "fair_queueing_demands", "weighted_demands"]
+
+Demand = Callable[[float], float]
+
+#: A stand-in for "unbounded demand" — senders are capped to 2× link
+#: by the runner anyway.
+BACKLOGGED = 1e12
+
+
+def motivation_demands(link_bps: float) -> Dict[str, Demand]:
+    """The Fig. 3 / Fig. 11(a) timeline (60 s):
+
+    * 0-15 s — NC alone, saturating ("FlowValve better prioritizes NC
+      before time 15 s by giving it all the available bandwidth");
+    * 15 s — NC drops to steady management traffic (``link/5``);
+      KVS, ML and WS all start, saturating ("accurately distributes
+      bandwidth among active traffic classes according to their weight
+      and priority settings from 15 s to 30 s" — and where kernel HTB
+      shows KVS ≈ ML and the >ceiling total);
+    * 30 s — ML stops (its guarantee frees up; KVS takes the whole S2
+      share);
+    * 45 s — NC and KVS stop (WS reclaims everything via borrowing).
+    """
+    b = link_bps
+    return {
+        "NC": windows((0, 15, BACKLOGGED), (15, 45, b / 5)),
+        "KVS": windows((15, 45, BACKLOGGED)),
+        "ML": windows((15, 30, BACKLOGGED)),
+        "WS": windows((15, 60, BACKLOGGED)),
+    }
+
+
+def fair_queueing_demands(n_apps: int = 4, join_every: float = 10.0, duration: float = 60.0) -> Dict[str, Demand]:
+    """The Fig. 11(b) timeline: apps join one by one every
+    *join_every* seconds and all run to the end, so each join shows
+    the fair re-division of the line rate (40 → 20 → 13.3 → 10 Gbit
+    per app on a 40 Gbit wire)."""
+    return {
+        f"App{i}": windows((i * join_every, duration, BACKLOGGED))
+        for i in range(n_apps)
+    }
+
+
+def weighted_demands(duration: float = 60.0) -> Dict[str, Demand]:
+    """The Fig. 11(c) timeline:
+
+    * App0 and App1 active from the start, App3 from the start too;
+    * App2 joins at 20 s — "the appearance of App2's traffic at time
+      20 s does not affect the traffic of App0" (weights isolate the
+      App0 : S1 split);
+    * App0 stops at 30 s — "the other three classes equally share link
+      bandwidth because we do not enforce weighted borrowing".
+    """
+    return {
+        "App0": windows((0, 30, BACKLOGGED)),
+        "App1": windows((0, duration, BACKLOGGED)),
+        "App2": windows((20, duration, BACKLOGGED)),
+        "App3": windows((0, duration, BACKLOGGED)),
+    }

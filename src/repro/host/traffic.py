@@ -1,0 +1,188 @@
+"""Workload drivers: demand schedules, TCP applications, CBR senders.
+
+These stand in for the paper's traffic tools — iperf3 (bulk TCP),
+the mTCP-based analyser (many TCP connections at line rate), and the
+fixed-length full-speed packet injector used for Fig. 13.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..net.flow import FiveTuple
+from ..net.packet import Packet, PacketFactory
+from .cpu import CpuCore
+from .tcp import AimdConnection, TcpParams, TcpRegistry
+
+__all__ = ["DemandSchedule", "windows", "TcpApp", "FixedRateSender"]
+
+#: A demand function: time -> offered bit/s.
+DemandSchedule = Callable[[float], float]
+
+
+def windows(*spans: Tuple[float, float, float]) -> DemandSchedule:
+    """Build a piecewise-constant demand from (start, end, rate) spans.
+
+    >>> d = windows((0, 15, 10e9), (15, 45, 2e9))
+    >>> d(10), d(20), d(50)
+    (10000000000.0, 2000000000.0, 0.0)
+    """
+
+    def demand(t: float) -> float:
+        for start, end, rate in spans:
+            if start <= t < end:
+                return rate
+        return 0.0
+
+    return demand
+
+
+class TcpApp:
+    """One application: a bundle of AIMD connections sharing a demand.
+
+    Mirrors the paper's per-app setup — "each process runs on a
+    separated CPU core and sends traffic to the SmartNIC from an
+    isolated virtual function" — with 1..256 TCP connections per app
+    (§V-A). The app demand is split evenly across its connections.
+
+    Parameters
+    ----------
+    submit: where packets go — ``VirtualFunction.send``, a NIC
+        pipeline's ``submit``, or a software scheduler's ``enqueue``.
+    send_cost_cycles: host cycles charged to the app's core per packet
+        (driver/syscall cost of the chosen I/O stack).
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        registry: TcpRegistry,
+        factory: PacketFactory,
+        submit: Callable[[Packet], bool],
+        n_connections: int = 1,
+        demand: Optional[DemandSchedule] = None,
+        tcp_params: Optional[TcpParams] = None,
+        vf_index: int = 0,
+        cpu: Optional[CpuCore] = None,
+        send_cost_cycles: float = 500.0,
+        cpu_freq_hz: float = 2.3e9,
+        dst_ip: str = "10.0.1.1",
+    ):
+        self.sim = sim
+        self.name = name
+        self.demand = demand
+        self.connections: List[AimdConnection] = []
+        per_conn_demand = None
+        if demand is not None:
+            per_conn_demand = self._split_demand(demand, n_connections)
+        send_cost_seconds = send_cost_cycles / cpu_freq_hz
+
+        def on_send_cost(size: int, _cpu=cpu, _cost=send_cost_seconds) -> None:
+            if _cpu is not None:
+                _cpu.charge(f"app:{name}", _cost)
+
+        for index in range(n_connections):
+            conn_id = registry.new_id()
+            flow = FiveTuple(f"10.{vf_index}.0.{index + 1}", dst_ip, 40000 + index, 5001)
+            conn = AimdConnection(
+                sim,
+                conn_id,
+                flow,
+                app=name,
+                factory=factory,
+                submit=submit,
+                params=tcp_params,
+                demand=per_conn_demand,
+                vf_index=vf_index,
+                on_send_cost=on_send_cost if cpu is not None else None,
+            )
+            registry.register(conn)
+            self.connections.append(conn)
+
+    @staticmethod
+    def _split_demand(demand: DemandSchedule, n: int) -> DemandSchedule:
+        return lambda t: demand(t) / n
+
+    # ------------------------------------------------------------------
+    @property
+    def sent_packets(self) -> int:
+        return sum(c.sent_packets for c in self.connections)
+
+    @property
+    def lost_packets(self) -> int:
+        return sum(c.lost_packets for c in self.connections)
+
+    def total_cwnd(self) -> float:
+        """Aggregate congestion window in bytes (diagnostic)."""
+        return sum(c.cwnd for c in self.connections)
+
+
+class FixedRateSender:
+    """A constant-bit-rate packet injector (the Fig. 13/14 stressor).
+
+    Sends fixed-size packets at a fixed rate regardless of feedback —
+    the "inject fixed-length packets at full speed" methodology. An
+    optional demand schedule gates it on/off.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        factory: PacketFactory,
+        submit: Callable[[Packet], bool],
+        rate_bps: float,
+        packet_size: int = 1518,
+        demand: Optional[DemandSchedule] = None,
+        vf_index: int = 0,
+        flow: Optional[FiveTuple] = None,
+        cpu: Optional[CpuCore] = None,
+        send_cost_seconds: float = 0.0,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.name = name
+        self.factory = factory
+        self.submit = submit
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.demand = demand
+        self.vf_index = vf_index
+        self.flow = flow if flow is not None else FiveTuple(
+            f"10.{vf_index}.1.1", "10.0.1.1", 40000, 5001
+        )
+        self.cpu = cpu
+        self.send_cost_seconds = send_cost_seconds
+        self.jitter = jitter
+        self.rng = rng
+        self.sent_packets = 0
+        self._process = sim.process(self._run())
+
+    def _run(self):
+        size_bits = self.packet_size * 8.0
+        base_interval = size_bits / self.rate_bps
+        while True:
+            effective_rate = self.rate_bps
+            if self.demand is not None:
+                demanded = self.demand(self.sim.now)
+                if demanded <= 0:
+                    yield 10 * base_interval
+                    continue
+                effective_rate = min(self.rate_bps, demanded)
+            interval = size_bits / effective_rate
+            packet = self.factory.make(
+                self.packet_size, self.flow, self.sim.now,
+                app=self.name, vf_index=self.vf_index,
+            )
+            if self.cpu is not None and self.send_cost_seconds > 0:
+                self.cpu.charge(f"app:{self.name}", self.send_cost_seconds)
+            self.sent_packets += 1
+            self.submit(packet)
+            gap = interval
+            if self.jitter > 0 and self.rng is not None:
+                gap *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+            yield gap

@@ -1,0 +1,22 @@
+"""Network primitives: packets, flows, links, and sinks.
+
+These are the nouns exchanged between the host model
+(:mod:`repro.host`), the SmartNIC model (:mod:`repro.nic`), and the
+schedulers (:mod:`repro.core`, :mod:`repro.baselines`).
+"""
+
+from .packet import Packet, PacketFactory, DropReason
+from .flow import FiveTuple, Flow, FlowTable
+from .link import Link
+from .sink import PacketSink
+
+__all__ = [
+    "Packet",
+    "PacketFactory",
+    "DropReason",
+    "FiveTuple",
+    "Flow",
+    "FlowTable",
+    "Link",
+    "PacketSink",
+]

@@ -1,0 +1,99 @@
+"""Point-to-point link with serialisation and propagation delay.
+
+The link is the final stage of every data path: the SmartNIC MAC (or a
+software scheduler's transmit loop) hands frames to :meth:`Link.send`,
+which serialises them at the configured line rate — including Ethernet
+preamble and inter-frame gap, so a saturated 10 Gbit link carries the
+textbook 14.88 Mpps of 64 B frames — and delivers them to the attached
+receiver after the propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..units import wire_bits
+from .packet import Packet
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A store-and-forward link at a fixed bit rate.
+
+    Frames are serialised back-to-back; if :meth:`send` is called while
+    a previous frame is still on the wire, the new frame starts when
+    the wire frees up (the caller is expected to pace itself — the NIC
+    MAC model does, via :meth:`busy_until`).
+
+    Parameters
+    ----------
+    sim: the shared simulator.
+    rate_bps: line rate in bits per second.
+    propagation_delay: one-way latency added after serialisation.
+    receiver: ``callable(packet)`` invoked at delivery time.
+    """
+
+    def __init__(
+        self,
+        sim,
+        rate_bps: float,
+        propagation_delay: float = 0.0,
+        receiver: Optional[Callable[[Packet], None]] = None,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        self.receiver = receiver
+        self.name = name
+        self._busy_until = 0.0
+        #: Frames fully serialised onto the wire.
+        self.frames_sent = 0
+        #: Payload bytes (L2 sizes) carried.
+        self.bytes_sent = 0
+
+    def serialization_time(self, packet: Packet) -> float:
+        """Seconds to clock one frame (with wire overhead) onto the link."""
+        return wire_bits(packet.size) / self.rate_bps
+
+    def busy_until(self) -> float:
+        """Absolute time the wire becomes free."""
+        return self._busy_until
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a frame is currently being serialised."""
+        return self._busy_until > self.sim.now
+
+    def send(self, packet: Packet) -> float:
+        """Serialise *packet* and schedule its delivery.
+
+        Returns the absolute time serialisation will finish. Frames
+        queue behind any in-flight frame, preserving FIFO order.
+        """
+        start = max(self.sim.now, self._busy_until)
+        finish = start + self.serialization_time(packet)
+        self._busy_until = finish
+        packet.tx_start = start
+        self.frames_sent += 1
+        self.bytes_sent += packet.size
+        self.sim.schedule_at(finish + self.propagation_delay, self._deliver, packet)
+        return finish
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.delivered_at = self.sim.now
+        if self.receiver is not None:
+            self.receiver(packet)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of *elapsed* seconds the wire spent serialising."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_sent and self._wire_time()) / elapsed)
+
+    def _wire_time(self) -> float:
+        # Total serialisation time implied by the byte/frame counters.
+        return (self.bytes_sent * 8 + self.frames_sent * (wire_bits(0))) / self.rate_bps

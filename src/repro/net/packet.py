@@ -1,0 +1,166 @@
+"""The packet model.
+
+A :class:`Packet` is a lightweight record of an L2 frame travelling
+from a host application, through the SmartNIC (or a software
+scheduler), over the wire, to the receiver. It carries the metadata the
+paper stores in the NFP packet buffer: the QoS *hierarchy class label*
+and *borrowing class label* attached by the labeling function
+(Section IV-B), plus timestamps for latency accounting.
+
+Packets use ``__slots__`` — experiments create millions of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from .flow import FiveTuple
+
+__all__ = ["Packet", "PacketFactory", "DropReason"]
+
+
+class DropReason(enum.Enum):
+    """Why a packet was discarded.
+
+    ``SCHED_RED`` is FlowValve's specialized tail drop — the meter
+    returned red and no lender class had shadow tokens (Algorithm 1
+    line 16). The other reasons come from the substrate models.
+    """
+
+    #: Meter red at the leaf class and borrowing failed (FlowValve).
+    SCHED_RED = "sched_red"
+    #: Ordinary tail drop: a FIFO/ring was full.
+    QUEUE_FULL = "queue_full"
+    #: The NIC buffer pool had no free buffer for the arrival.
+    NO_BUFFER = "no_buffer"
+    #: A software scheduler's class queue overflowed.
+    CLASS_QUEUE_FULL = "class_queue_full"
+    #: No filter rule matched and the policy default is drop.
+    UNCLASSIFIED = "unclassified"
+    #: Policer/shaper drop inside a baseline scheduler.
+    POLICER = "policer"
+
+
+class Packet:
+    """One L2 frame plus simulation metadata.
+
+    Parameters
+    ----------
+    seq:
+        Globally unique sequence number (assigned by the factory).
+    size:
+        L2 frame size in bytes, **including** the 4-byte CRC — matching
+        how the paper quotes packet sizes (64 B ... 1518 B). Wire-level
+        preamble/IFG overhead is added by the link model, not stored.
+    flow:
+        The five-tuple this frame belongs to.
+    created_at:
+        Simulation time the sending application emitted the frame.
+    app:
+        Name of the producing application/class (``"KVS"``, ``"ML"``...);
+        purely for accounting and trace readability.
+    vf_index:
+        SR-IOV virtual function the frame entered the NIC through.
+    """
+
+    __slots__ = (
+        "seq",
+        "size",
+        "flow",
+        "app",
+        "vf_index",
+        "created_at",
+        "nic_arrival",
+        "tx_start",
+        "delivered_at",
+        "hierarchy_label",
+        "borrow_label",
+        "dropped",
+        "drop_reason",
+        "conn_id",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        size: int,
+        flow: FiveTuple,
+        created_at: float,
+        app: str = "",
+        vf_index: int = 0,
+        conn_id: int = -1,
+    ):
+        self.seq = seq
+        self.size = size
+        self.flow = flow
+        self.app = app
+        self.vf_index = vf_index
+        self.conn_id = conn_id
+        self.created_at = created_at
+        #: Time the NIC (or software scheduler) first saw the frame.
+        self.nic_arrival: float = -1.0
+        #: Time the MAC started serialising the frame onto the wire.
+        self.tx_start: float = -1.0
+        #: Time the receiver finished receiving the frame.
+        self.delivered_at: float = -1.0
+        #: QoS hierarchy class label: root-to-leaf tuple of class ids,
+        #: e.g. ``("S0", "S1", "S2", "ML")``. Set by the labeling function.
+        self.hierarchy_label: Tuple[str, ...] = ()
+        #: QoS borrowing class label: lender class ids in query order.
+        self.borrow_label: Tuple[str, ...] = ()
+        self.dropped = False
+        self.drop_reason: Optional[DropReason] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def leaf_class(self) -> str:
+        """Leaf traffic class id, or ``""`` when unlabelled."""
+        return self.hierarchy_label[-1] if self.hierarchy_label else ""
+
+    @property
+    def one_way_delay(self) -> float:
+        """Creation-to-delivery latency; negative until delivered."""
+        if self.delivered_at < 0:
+            return -1.0
+        return self.delivered_at - self.created_at
+
+    def mark_dropped(self, reason: DropReason) -> None:
+        """Record that the frame was discarded and why."""
+        self.dropped = True
+        self.drop_reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = "/".join(self.hierarchy_label) or "-"
+        return f"<Packet #{self.seq} {self.size}B app={self.app or '-'} label={label}>"
+
+
+class PacketFactory:
+    """Mints packets with unique, monotonically increasing sequence
+    numbers.
+
+    One factory per experiment keeps sequence numbers globally unique,
+    which the NIC reorder system relies on.
+    """
+
+    def __init__(self) -> None:
+        self._next_seq = 0
+        #: Total packets created (== next sequence number).
+        self.created = 0
+
+    def make(
+        self,
+        size: int,
+        flow: FiveTuple,
+        created_at: float,
+        app: str = "",
+        vf_index: int = 0,
+        conn_id: int = -1,
+    ) -> Packet:
+        """Create one packet; arguments mirror :class:`Packet`."""
+        packet = Packet(
+            self._next_seq, size, flow, created_at, app=app, vf_index=vf_index, conn_id=conn_id
+        )
+        self._next_seq += 1
+        self.created += 1
+        return packet

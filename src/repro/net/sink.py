@@ -1,0 +1,89 @@
+"""The receiving end of the testbed.
+
+Plays the role of the Intel X710 receiver in the paper's setup: counts
+delivered frames per application/class, computes one-way delay
+statistics, and (optionally) notifies a congestion-control callback so
+AIMD senders learn their delivery rate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from ..stats.timeseries import RateSeries
+from .packet import Packet
+
+__all__ = ["PacketSink"]
+
+
+class PacketSink:
+    """Terminal packet consumer with per-app accounting.
+
+    Parameters
+    ----------
+    sim: the shared simulator.
+    rate_window: averaging window for per-app throughput series.
+    on_delivery: optional ``callable(packet)`` invoked per delivery
+        (used to drive TCP ack feedback).
+    record_delays: keep every one-way delay sample (memory grows with
+        traffic; disable for long stress runs).
+    """
+
+    def __init__(
+        self,
+        sim,
+        rate_window: float = 0.1,
+        on_delivery: Optional[Callable[[Packet], None]] = None,
+        record_delays: bool = True,
+        delay_start: float = 0.0,
+    ):
+        self.sim = sim
+        self.on_delivery = on_delivery
+        self.record_delays = record_delays
+        #: Delay samples before this time are discarded (warm-up cut).
+        self.delay_start = delay_start
+        #: Delivered frame count per app name ('' for unnamed).
+        self.packets: Dict[str, int] = defaultdict(int)
+        #: Delivered bytes per app name.
+        self.bytes: Dict[str, int] = defaultdict(int)
+        #: Windowed throughput series per app name.
+        self.rates: Dict[str, RateSeries] = {}
+        #: One-way delay samples in seconds (all apps pooled).
+        self.delays: List[float] = []
+        #: One-way delay samples per app name.
+        self.delays_by_app: Dict[str, List[float]] = defaultdict(list)
+        self._rate_window = rate_window
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Account one delivered frame. Wire this to ``Link.receiver``."""
+        app = packet.app
+        self.packets[app] += 1
+        self.bytes[app] += packet.size
+        self.total_packets += 1
+        self.total_bytes += packet.size
+        series = self.rates.get(app)
+        if series is None:
+            series = RateSeries(window=self._rate_window)
+            self.rates[app] = series
+        series.add(self.sim.now, packet.size * 8)
+        if self.record_delays and packet.created_at >= 0 and self.sim.now >= self.delay_start:
+            delay = self.sim.now - packet.created_at
+            self.delays.append(delay)
+            self.delays_by_app[app].append(delay)
+        if self.on_delivery is not None:
+            self.on_delivery(packet)
+
+    def throughput_bps(self, app: str, elapsed: float) -> float:
+        """Average delivered rate for *app* over *elapsed* seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes[app] * 8 / elapsed
+
+    def total_throughput_bps(self, elapsed: float) -> float:
+        """Average delivered rate across all apps."""
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes * 8 / elapsed

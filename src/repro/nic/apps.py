@@ -1,0 +1,228 @@
+"""NIC applications: the code plugged into each worker's routine.
+
+The pipeline runs one :class:`NicApp` on every worker micro-engine.
+``handle`` is a *generator*: every ``yield <seconds>`` models cycles
+spent (and, in blocking lock modes, waits on a lock event), and the
+generator's return value is the forwarding verdict. Workers delegate
+with ``yield from``, so app time is charged inside the worker's
+run-to-completion slot, exactly like plugging a scheduling function
+into the Micro-C processing loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from ..core.labeling import LabelingFunction
+from ..core.scheduling import SchedulingFunction, Verdict
+from ..core.token_bucket import MeterColor
+from ..net.packet import DropReason, Packet
+from ..sim import Lock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import NicPipeline
+
+__all__ = ["NicApp", "ForwardAllApp", "FlowValveNicApp"]
+
+
+class NicApp:
+    """Interface for per-packet worker applications."""
+
+    def bind(self, pipeline: "NicPipeline") -> None:
+        """Called once when attached; gives access to clock and costs."""
+        self.pipeline = pipeline
+
+    def handle(self, packet: Packet) -> Generator:
+        """Process one packet; yield time costs; return a Verdict."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator function
+
+
+class ForwardAllApp(NicApp):
+    """Pass-through: the NIC with FlowValve disabled (§V-B's baseline
+    used to establish the 161 µs forwarding floor)."""
+
+    def handle(self, packet: Packet) -> Generator:
+        return Verdict.FORWARD
+        yield  # pragma: no cover - generator marker
+
+
+class FlowValveNicApp(NicApp):
+    """FlowValve's labeling + scheduling functions with cycle costs.
+
+    Parameters
+    ----------
+    labeler / scheduler: the back-end objects built by the front end
+        (:class:`~repro.core.frontend.FlowValveFrontend`). They are
+        shared state — exactly like the scheduling tree in NFP shared
+        memory — so one app instance serves all workers.
+    """
+
+    def __init__(self, labeler: LabelingFunction, scheduler: SchedulingFunction):
+        self.labeler = labeler
+        self.scheduler = scheduler
+        #: Per-class blocking locks (created lazily per lock mode).
+        self._class_locks: Dict[str, Lock] = {}
+        self._global_lock: Optional[Lock] = None
+
+    def bind(self, pipeline: "NicPipeline") -> None:
+        super().bind(pipeline)
+        if pipeline.config.lock_mode in ("global_block", "sequential"):
+            self._global_lock = Lock(pipeline.sim, name="sched-tree-global")
+
+    # ------------------------------------------------------------------
+    def _cycles(self, n: int) -> float:
+        return self.pipeline.config.seconds(n)
+
+    def _class_lock(self, classid: str) -> Lock:
+        lock = self._class_locks.get(classid)
+        if lock is None:
+            lock = Lock(self.pipeline.sim, name=f"class-{classid}")
+            self._class_locks[classid] = lock
+        return lock
+
+    @property
+    def lock_contention(self) -> float:
+        """Total simulated seconds workers spent waiting on blocking
+        locks (0 in trylock mode, where nobody ever waits)."""
+        total = sum(lock.total_wait_time for lock in self._class_locks.values())
+        if self._global_lock is not None:
+            total += self._global_lock.total_wait_time
+        return total
+
+    # ------------------------------------------------------------------
+    def handle(self, packet: Packet) -> Generator:
+        sim = self.pipeline.sim
+        costs = self.pipeline.config.costs
+        lock_mode = self.pipeline.config.lock_mode
+
+        # --- labeling function ---------------------------------------
+        cache = self.labeler.cache
+        hits_before = cache.hits if cache is not None else 0
+        label = self.labeler.label(packet, sim.now)
+        if label is None:
+            return Verdict.DROP
+        if cache is not None and cache.hits > hits_before:
+            yield self._cycles(costs.emc_hit)
+        else:
+            yield self._cycles(
+                costs.emc_hit + costs.classify_per_rule * max(1, len(self.labeler.classifier))
+            )
+
+        # --- scheduling function (Algorithm 1) ------------------------
+        scheduler = self.scheduler
+        path = scheduler.path_nodes(packet)
+        scheduler.touch_path(path, sim.now)
+
+        if lock_mode == "sequential":
+            # Fig. 7(b): the entire scheduling function is single-
+            # threaded — every worker serialises on one lock for the
+            # whole decision.
+            yield self._global_lock.acquire()
+            try:
+                verdict = yield from self._sched_body(packet, path, costs, "trylock")
+            finally:
+                self._global_lock.release()
+            return verdict
+
+        if lock_mode == "global_block":
+            # Naive offload: one lock guards the whole tree's updates.
+            yield self._global_lock.acquire()
+            try:
+                yield from self._update_loop(path, costs, blocking=False)
+            finally:
+                self._global_lock.release()
+            verdict = yield from self._meter_and_borrow(packet, path, costs)
+            return verdict
+
+        verdict = yield from self._sched_body(packet, path, costs, lock_mode)
+        return verdict
+
+    def _sched_body(self, packet, path, costs, lock_mode) -> Generator:
+        if lock_mode == "per_class_block":
+            yield from self._update_loop(path, costs, blocking=True)
+        else:  # trylock — FlowValve's design
+            yield from self._update_loop(path, costs, blocking=False)
+        verdict = yield from self._meter_and_borrow(packet, path, costs)
+        return verdict
+
+    def _update_loop(self, path, costs, blocking: bool) -> Generator:
+        """Walk the path's update attempts.
+
+        Cycle costs of skipped attempts are *accumulated* and charged
+        in one yield (fewer kernel events, identical total time); an
+        acquired update still charges its body across simulated time
+        while the flag is held — that hold window is what makes other
+        workers skip, the paper's "only one core executes this
+        procedure at a time".
+        """
+        sim = self.pipeline.sim
+        scheduler = self.scheduler
+        accumulated = 0
+        for node in path:
+            accumulated += costs.sched_per_class
+            if blocking:
+                # The lock acquire itself is an atomic probe, same cost
+                # as the trylock path's.
+                accumulated += costs.update_trylock
+                yield self._cycles(accumulated)
+                accumulated = 0
+                lock = self._class_lock(node.classid)
+                yield lock.acquire()
+                try:
+                    if node.try_begin_update(sim.now):
+                        yield self._cycles(costs.update_body)
+                        node.perform_update(sim.now)
+                        node.end_update()
+                        scheduler.stats.updates_run += 1
+                    else:
+                        scheduler.stats.updates_skipped += 1
+                finally:
+                    lock.release()
+            else:
+                if node.try_begin_update(sim.now):
+                    yield self._cycles(accumulated + costs.update_body)
+                    accumulated = 0
+                    node.perform_update(sim.now)
+                    node.end_update()
+                    scheduler.stats.updates_run += 1
+                else:
+                    accumulated += costs.update_trylock
+                    scheduler.stats.updates_skipped += 1
+        if accumulated:
+            yield self._cycles(accumulated)
+
+    def _meter_and_borrow(self, packet, path, costs) -> Generator:
+        sim = self.pipeline.sim
+        scheduler = self.scheduler
+        leaf = path[-1]
+        yield self._cycles(costs.meter)
+        color = scheduler.meter_leaf(packet, leaf, sim.now)
+        borrowed_from = None
+        if color is not MeterColor.GREEN:
+            if scheduler.params.borrow_enabled:
+                size_bits = scheduler.params.packet_bits(packet.size)
+                for lender_id in packet.borrow_label:
+                    lender = scheduler.tree.node(lender_id)
+                    for leaf_lender in lender.leaf_descendants():
+                        if leaf_lender.try_begin_update(sim.now):
+                            yield self._cycles(costs.borrow_query + costs.update_body)
+                            leaf_lender.perform_update(sim.now)
+                            leaf_lender.end_update()
+                            scheduler.stats.updates_run += 1
+                        else:
+                            yield self._cycles(costs.borrow_query)
+                        if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
+                            leaf_lender.lent_bits += size_bits
+                            borrowed_from = leaf_lender
+                            break
+                    if borrowed_from is not None:
+                        break
+            if borrowed_from is None:
+                scheduler.stats.dropped += 1
+                scheduler.stats.decisions += 1
+                packet.mark_dropped(DropReason.SCHED_RED)
+                return Verdict.DROP
+        scheduler.commit(packet, path, borrowed_from)
+        scheduler.stats.decisions += 1
+        return Verdict.FORWARD

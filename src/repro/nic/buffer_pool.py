@@ -1,0 +1,69 @@
+"""The packet buffer pool and its manager core.
+
+Paper §III-B: "a manager core (other than worker cores) collects freed
+buffers and re-links them to the buffer lists for new incoming
+packets." Arrivals that find the free list empty are dropped in
+hardware. The model keeps a free-buffer count; frees return to the
+list only after the manager core's recycle delay, so a burst can
+transiently exhaust the pool even when long-run demand fits.
+"""
+
+from __future__ import annotations
+
+from ..errors import BufferExhausted, CapacityError
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Counted packet buffers with delayed recycling."""
+
+    def __init__(self, sim, count: int, recycle_delay: float = 2e-6):
+        if count <= 0:
+            raise CapacityError(f"buffer count must be positive, got {count}")
+        self.sim = sim
+        self.count = count
+        self.recycle_delay = recycle_delay
+        self._free = count
+        self._outstanding = 0
+        #: Arrivals dropped for lack of a free buffer.
+        self.exhaustion_drops = 0
+        #: Low-water mark of the free list (diagnostic).
+        self.min_free = count
+
+    @property
+    def free(self) -> int:
+        """Buffers currently on the free list."""
+        return self._free
+
+    @property
+    def outstanding(self) -> int:
+        """Buffers held by in-flight packets (excludes recycling)."""
+        return self._outstanding
+
+    def try_allocate(self) -> bool:
+        """Take one buffer; False (counted) when the list is empty."""
+        if self._free == 0:
+            self.exhaustion_drops += 1
+            return False
+        self._free -= 1
+        self._outstanding += 1
+        if self._free < self.min_free:
+            self.min_free = self._free
+        return True
+
+    def release(self) -> None:
+        """Free one buffer; it re-enters the list after the manager
+        core's recycle delay."""
+        if self._outstanding == 0:
+            raise BufferExhausted("release without a matching allocation")
+        self._outstanding -= 1
+        if self.recycle_delay > 0:
+            self.sim.schedule(self.recycle_delay, self._relink)
+        else:
+            self._relink()
+
+    def _relink(self) -> None:
+        self._free += 1
+        if self._free > self.count:
+            raise BufferExhausted("buffer pool over-released")

@@ -1,0 +1,142 @@
+"""SmartNIC configuration: geometry and per-operation cycle budgets.
+
+Defaults model a Netronome Agilio CX 40GbE (NFP-4000): 50 effective
+worker micro-engines at 1.2 GHz (the paper's "many processing cores,
+e.g. ≥ 50"), four threads per ME for latency hiding, and a 40 Gbit
+wire. Cycle budgets are derived from the memory hierarchy plus
+instruction-work constants and then *calibrated* so the assembled
+pipeline's 64 B forwarding capacity lands near the paper's measured
+19.69 Mpps (Fig. 13) — see EXPERIMENTS.md for the calibration note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from .memory import MemoryHierarchy
+
+__all__ = ["CycleCosts", "NicConfig"]
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Per-operation budgets in micro-engine cycles.
+
+    ``fixed_overhead`` covers the work every packet pays regardless of
+    the app: MAC/DMA handoff, buffer metadata, header parse, reorder
+    bookkeeping and Tx descriptor writes. The remaining entries are the
+    app-specific steps of the labeling and scheduling functions.
+    """
+
+    #: Per-packet pipeline overhead (parse, buffer mgmt, reorder, tx).
+    #: Calibrated so the assembled FlowValve pipeline's 64 B capacity
+    #: lands at the paper's measured 19.69 Mpps (Fig. 13): the full
+    #: budget works out to ≈ 3050 cycles/packet on a 2-level tree.
+    fixed_overhead: int = 2100
+    #: Exact-match flow cache hit (hash + one CLS read).
+    emc_hit: int = 180
+    #: Rule-walk cost per filter rule on an EMC miss.
+    classify_per_rule: int = 220
+    #: Per-class work in the scheduling loop (label decode, counter add).
+    sched_per_class: int = 260
+    #: The update subprocedure body (Γ roll, θ recompute, refills).
+    update_body: int = 650
+    #: The atomic try-lock probe when the update flag is already held.
+    update_trylock: int = 60
+    #: The leaf meter instruction (atomic test-and-subtract).
+    meter: int = 120
+    #: One shadow-bucket borrow query (update probe + atomic meter).
+    borrow_query: int = 200
+
+    def validate(self) -> None:
+        """All budgets must be non-negative."""
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigError(f"cycle cost {name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """Geometry and capacities of the modelled SmartNIC."""
+
+    #: Micro-engine clock.
+    freq_hz: float = 1.2e9
+    #: Effective worker micro-engines pulling packets.
+    n_workers: int = 50
+    #: Threads per ME (memory latency hiding; folded into budgets).
+    threads_per_me: int = 4
+    #: Wire rate of the egress port.
+    line_rate_bps: float = 40e9
+    #: PCIe DMA + load-balancer latency from host ring to a worker.
+    rx_dma_latency: float = 8e-6
+    #: Fixed egress-path latency (Tx DMA, traffic manager, MAC) beyond
+    #: serialisation — the "other necessary processing" behind the
+    #: paper's 161 µs forwarding floor at 40 Gbit (§V-B).
+    tx_fixed_latency: float = 4e-6
+    #: Dispatch queue depth in packets (load-balancer backlog).
+    dispatch_depth: int = 512
+    #: Shared Tx ring depth in packets.
+    tx_ring_depth: int = 1024
+    #: Packet buffers in the MU buffer lists.
+    buffer_count: int = 4096
+    #: Delay for the manager core to re-link a freed buffer.
+    buffer_recycle_delay: float = 2e-6
+    #: Whether the reorder system is enabled (it is on real NFPs).
+    reorder_enabled: bool = True
+    #: Update-lock discipline: "trylock" (FlowValve's design),
+    #: "per_class_block" (Fig. 7c), "global_block" (naive offload),
+    #: "sequential" (Fig. 7b: one worker does all scheduling).
+    lock_mode: str = "trylock"
+    #: Per-operation cycle budgets.
+    costs: CycleCosts = field(default_factory=CycleCosts)
+    #: Memory hierarchy (documentation + latency-hiding math).
+    memory: MemoryHierarchy = field(default_factory=MemoryHierarchy, repr=False, compare=False)
+
+    _LOCK_MODES = ("trylock", "per_class_block", "global_block", "sequential")
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ConfigError("freq_hz must be positive")
+        if self.n_workers <= 0:
+            raise ConfigError("n_workers must be positive")
+        if self.line_rate_bps <= 0:
+            raise ConfigError("line_rate_bps must be positive")
+        if self.lock_mode not in self._LOCK_MODES:
+            raise ConfigError(
+                f"lock_mode must be one of {self._LOCK_MODES}, got {self.lock_mode!r}"
+            )
+        self.costs.validate()
+
+    # ------------------------------------------------------------------
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at the ME clock."""
+        return cycles / self.freq_hz
+
+    def worker_capacity_pps(self, cycles_per_packet: float) -> float:
+        """Aggregate forwarding capacity for a given per-packet budget."""
+        if cycles_per_packet <= 0:
+            return float("inf")
+        return self.n_workers * self.freq_hz / cycles_per_packet
+
+    def scaled(self, rate_scale: float) -> "NicConfig":
+        """A config for a rate-scaled experiment: the wire slows by
+        *rate_scale* and every latency/compute term stretches by the
+        same factor, keeping all dimensionless ratios identical."""
+        if rate_scale <= 0:
+            raise ConfigError("rate_scale must be positive")
+        return replace(
+            self,
+            freq_hz=self.freq_hz / rate_scale,
+            line_rate_bps=self.line_rate_bps / rate_scale,
+            rx_dma_latency=self.rx_dma_latency * rate_scale,
+            tx_fixed_latency=self.tx_fixed_latency * rate_scale,
+            buffer_recycle_delay=self.buffer_recycle_delay * rate_scale,
+            # Queue depths scale with the packet rate so the *time* a
+            # full queue represents is preserved (a 1024-deep ring at
+            # 1/1000 the packet rate would otherwise hold 1000x the
+            # buffering delay and bufferbloat every TCP RTT estimate).
+            dispatch_depth=max(16, int(self.dispatch_depth / rate_scale)),
+            tx_ring_depth=max(16, int(self.tx_ring_depth / rate_scale)),
+            buffer_count=max(64, int(self.buffer_count / rate_scale)),
+        )

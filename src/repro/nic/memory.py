@@ -1,0 +1,82 @@
+"""The NFP memory hierarchy, as access-latency classes.
+
+The paper's Fig. 4 omits the memory units for space but the design
+leans on them: QoS labels live in packet buffers (CTM), the scheduling
+tree in shared memory reachable by every core (CLS/IMEM), and atomic
+meter/counter instructions execute *at* the memory engine rather than
+in the core, which is why per-packet metering scales across 50+ cores.
+
+Latencies are in core cycles, taken from publicly documented NFP-6xxx
+orders of magnitude. They feed :class:`~repro.nic.config.CycleCosts`:
+an operation's budget = instruction work + the latencies of the
+regions it touches (discounted by multithreaded latency hiding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["MemoryRegion", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One addressable memory class on the NFP.
+
+    Attributes
+    ----------
+    name: conventional region name (LMEM, CLS, CTM, IMEM, EMEM).
+    read_cycles / write_cycles: round-trip latency seen by a thread.
+    atomic_cycles: latency of an atomic engine op (add, test-and-set,
+        meter) executed at the memory unit.
+    size_bytes: capacity (documentation; the model doesn't allocate).
+    """
+
+    name: str
+    read_cycles: int
+    write_cycles: int
+    atomic_cycles: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.read_cycles < 0 or self.write_cycles < 0 or self.atomic_cycles < 0:
+            raise ValueError(f"{self.name}: latencies must be non-negative")
+
+
+class MemoryHierarchy:
+    """The standard five-level NFP hierarchy with lookup by name."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[str, MemoryRegion] = {}
+        for region in (
+            # Per-thread local memory: register-speed scratch.
+            MemoryRegion("LMEM", read_cycles=1, write_cycles=1, atomic_cycles=0, size_bytes=1024),
+            # Cluster local scratch: shared within an ME island.
+            MemoryRegion("CLS", read_cycles=30, write_cycles=30, atomic_cycles=40, size_bytes=64 * 1024),
+            # Cluster target memory: packet buffers live here.
+            MemoryRegion("CTM", read_cycles=60, write_cycles=60, atomic_cycles=80, size_bytes=256 * 1024),
+            # Internal SRAM: scheduling tree shared state.
+            MemoryRegion("IMEM", read_cycles=150, write_cycles=150, atomic_cycles=180, size_bytes=4 * 1024 * 1024),
+            # External DRAM: flow tables, large rings.
+            MemoryRegion("EMEM", read_cycles=300, write_cycles=300, atomic_cycles=350, size_bytes=2 * 1024 ** 3),
+        ):
+            self._regions[region.name] = region
+
+    def region(self, name: str) -> MemoryRegion:
+        """Lookup by region name; raises ``KeyError`` on unknown."""
+        return self._regions[name]
+
+    def __iter__(self):
+        return iter(self._regions.values())
+
+    def hidden(self, cycles: int, threads_per_me: int) -> int:
+        """Effective stall cycles after multithreaded latency hiding.
+
+        With T threads per micro-engine, while one thread waits on
+        memory the other T−1 issue instructions, so only ~1/T of the
+        raw latency shows up as lost issue slots in steady state.
+        """
+        if threads_per_me <= 1:
+            return cycles
+        return max(1, cycles // threads_per_me)

@@ -1,0 +1,181 @@
+"""The assembled SmartNIC processing pipeline (paper Fig. 4).
+
+Data path::
+
+    host VFs --submit()--> [buffer pool] --DMA--> dispatch queue
+        --> worker MEs (fixed overhead + NicApp: label, schedule)
+        --> reorder system --> shared Tx ring --> traffic manager/MAC
+        --> wire (Link) --> receiver
+
+Every stage is bounded; drops are marked with a
+:class:`~repro.net.packet.DropReason` and reported through the
+``on_drop`` hook so host congestion control can react.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.link import Link
+from ..net.packet import DropReason, Packet
+from ..sim import Simulator, Store
+from .apps import FlowValveNicApp, NicApp
+from .buffer_pool import BufferPool
+from .config import NicConfig
+from .reorder import ReorderBuffer
+from .rings import TxRing
+from .traffic_manager import TrafficManager
+
+__all__ = ["NicPipeline"]
+
+
+class NicPipeline:
+    """The full NIC model: submit packets in, frames come out the wire.
+
+    Parameters
+    ----------
+    sim: the shared simulator.
+    config: NIC geometry and cycle budgets.
+    app: the per-packet worker application (FlowValve or pass-through).
+    receiver: delivered-frame callback (usually ``PacketSink.receive``).
+    on_drop: called with every packet the NIC discards, anywhere in the
+        pipeline (buffer exhaustion, queue overflow, scheduler drop).
+    wire_propagation: physical propagation delay of the attached wire.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NicConfig,
+        app: NicApp,
+        receiver: Optional[Callable[[Packet], None]] = None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+        wire_propagation: float = 1e-6,
+    ):
+        self.sim = sim
+        self.config = config
+        self.app = app
+        self.on_drop = on_drop
+        self.link = Link(
+            sim,
+            config.line_rate_bps,
+            propagation_delay=wire_propagation + config.tx_fixed_latency,
+            receiver=receiver,
+            name="nic-wire",
+        )
+        self.tx_ring = TxRing(sim, depth=config.tx_ring_depth)
+        self.traffic_manager = TrafficManager(sim, self.tx_ring, self.link, on_sent=self._on_sent)
+        self.dispatch = Store(sim, capacity=config.dispatch_depth, name="nic-dispatch")
+        self.buffers = BufferPool(sim, config.buffer_count, config.buffer_recycle_delay)
+        self.reorder = ReorderBuffer(self._emit_to_tx) if config.reorder_enabled else None
+        # --- statistics ------------------------------------------------
+        self.submitted = 0
+        self.forwarded = 0
+        self.dropped = 0
+        self.drops_by_reason = {reason: 0 for reason in DropReason}
+        app.bind(self)
+        self._workers = [sim.process(self._worker(i)) for i in range(config.n_workers)]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_flowvalve(
+        cls,
+        sim: Simulator,
+        config: NicConfig,
+        frontend,
+        receiver: Optional[Callable[[Packet], None]] = None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ) -> "NicPipeline":
+        """Assemble a pipeline running a FlowValve front end's policy."""
+        app = FlowValveNicApp(frontend.labeler, frontend.scheduler)
+        return cls(sim, config, app, receiver=receiver, on_drop=on_drop)
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def submit(self, packet: Packet) -> bool:
+        """Offer one packet from a host VF queue.
+
+        Returns False when the NIC had to drop it at ingress (no free
+        buffer). Accepted packets arrive at the dispatch queue after
+        the PCIe DMA latency.
+        """
+        self.submitted += 1
+        packet.nic_arrival = self.sim.now
+        if not self.buffers.try_allocate():
+            self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
+            return False
+        self.sim.schedule(self.config.rx_dma_latency, self._arrive, packet)
+        return True
+
+    def _arrive(self, packet: Packet) -> None:
+        if not self.dispatch.try_put(packet):
+            self._drop(packet, DropReason.QUEUE_FULL)
+
+    # ------------------------------------------------------------------
+    # the worker micro-engines
+    # ------------------------------------------------------------------
+    def _worker(self, worker_id: int):
+        """Run-to-completion loop of one worker ME."""
+        while True:
+            packet: Packet = yield self.dispatch.get()
+            ticket = self.reorder.take_ticket() if self.reorder is not None else -1
+            yield self.config.seconds(self.config.costs.fixed_overhead)
+            verdict = yield from self.app.handle(packet)
+            if verdict.value == "forward":
+                if self.reorder is not None:
+                    self.reorder.complete(ticket, packet)
+                else:
+                    self._emit_to_tx(packet)
+            else:
+                if self.reorder is not None:
+                    self.reorder.complete(ticket, None)
+                reason = packet.drop_reason if packet.drop_reason is not None else DropReason.SCHED_RED
+                self._drop(packet, reason, already_marked=True)
+
+    # ------------------------------------------------------------------
+    # egress
+    # ------------------------------------------------------------------
+    def _emit_to_tx(self, packet: Packet) -> None:
+        if self.tx_ring.offer(packet):
+            self.forwarded += 1
+        else:
+            self._drop(packet, DropReason.QUEUE_FULL, already_marked=True)
+
+    def _on_sent(self, packet: Packet) -> None:
+        self.buffers.release()
+
+    # ------------------------------------------------------------------
+    def _drop(
+        self,
+        packet: Packet,
+        reason: DropReason,
+        release_buffer: bool = True,
+        already_marked: bool = False,
+    ) -> None:
+        if not already_marked or not packet.dropped:
+            packet.mark_dropped(reason)
+        self.dropped += 1
+        self.drops_by_reason[packet.drop_reason] += 1
+        if release_buffer:
+            self.buffers.release()
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def drop_ratio(self) -> float:
+        """Dropped over submitted, 0.0 before any traffic."""
+        return self.dropped / self.submitted if self.submitted else 0.0
+
+    def stats_summary(self) -> str:
+        """One-paragraph text summary for reports."""
+        reasons = ", ".join(
+            f"{reason.value}={count}" for reason, count in self.drops_by_reason.items() if count
+        )
+        return (
+            f"NIC: submitted={self.submitted} forwarded={self.forwarded} "
+            f"dropped={self.dropped} ({reasons or 'none'}) "
+            f"tx_ring_max={self.tx_ring.max_occupancy} "
+            f"buffers_min_free={self.buffers.min_free}"
+        )

@@ -1,0 +1,65 @@
+"""The reorder system (paper Fig. 4).
+
+Workers finish packets out of order (different cycle budgets, update
+lock luck); the reorder system "sends packets out roughly according to
+their incoming sequences". The model is exact rather than rough: each
+packet takes a ticket at dispatch, and completions are released to the
+Tx ring strictly in ticket order. Dropped packets release their ticket
+without emitting anything — otherwise one early drop would stall the
+whole egress.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..net.packet import Packet
+
+__all__ = ["ReorderBuffer"]
+
+
+class ReorderBuffer:
+    """In-order release of out-of-order completions.
+
+    ``emit`` is called synchronously (in ticket order) with each packet
+    that should proceed to the Tx ring.
+    """
+
+    def __init__(self, emit: Callable[[Packet], None]):
+        self._emit = emit
+        self._next_ticket = 0
+        self._next_release = 0
+        #: ticket -> (packet or None-for-drop)
+        self._pending: Dict[int, Optional[Packet]] = {}
+        #: Maximum number of completions parked waiting for a ticket.
+        self.max_parked = 0
+
+    def take_ticket(self) -> int:
+        """Assign the next ingress sequence number."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return ticket
+
+    def complete(self, ticket: int, packet: Optional[Packet]) -> None:
+        """Report a finished ticket; ``None`` means the packet was
+        dropped and only frees the slot."""
+        if ticket < self._next_release or ticket in self._pending:
+            raise ValueError(f"ticket {ticket} completed twice")
+        self._pending[ticket] = packet
+        if len(self._pending) > self.max_parked:
+            self.max_parked = len(self._pending)
+        while self._next_release in self._pending:
+            released = self._pending.pop(self._next_release)
+            self._next_release += 1
+            if released is not None:
+                self._emit(released)
+
+    @property
+    def in_flight(self) -> int:
+        """Tickets taken but not yet released."""
+        return self._next_ticket - self._next_release
+
+    @property
+    def parked(self) -> int:
+        """Completions waiting for earlier tickets."""
+        return len(self._pending)

@@ -1,0 +1,83 @@
+"""Receive queues and the shared transmit ring.
+
+Challenge 2 in the paper: "packets are copied to the shared transmit
+(Tx) ring buffer and fed into multiple FIFO queues in the traffic
+manager. This results in packets of all classes mixed in the Tx buffer
+and treated equally upon egress." Both structures here are bounded
+FIFOs with tail-drop — there are no per-class queues anywhere on the
+NIC, which is exactly the constraint FlowValve's specialized tail drop
+works around.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.packet import DropReason, Packet
+from ..sim import Store
+
+__all__ = ["RxQueue", "TxRing"]
+
+
+class RxQueue:
+    """One SR-IOV virtual function's transmit queue into the NIC.
+
+    (Named from the NIC's perspective: the host's VF Tx queue is the
+    NIC's receive queue.) Bounded; arrivals beyond capacity tail-drop,
+    which is the back-pressure signal host TCP stacks react to.
+    """
+
+    def __init__(self, sim, vf_index: int, depth: int = 256):
+        self.sim = sim
+        self.vf_index = vf_index
+        self.store = Store(sim, capacity=depth, name=f"vf{vf_index}-rx")
+        #: Packets dropped at the host/NIC boundary because the ring was full.
+        self.tail_drops = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Non-blocking enqueue; False (and drop-marked) when full."""
+        if self.store.try_put(packet):
+            return True
+        self.tail_drops += 1
+        packet.mark_dropped(DropReason.QUEUE_FULL)
+        return False
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+class TxRing:
+    """The shared transmit ring between workers and the traffic manager.
+
+    All traffic classes mix here FIFO; a full ring tail-drops — the
+    congestion FlowValve's early drop is designed to prevent from ever
+    happening to high-priority traffic.
+    """
+
+    def __init__(self, sim, depth: int = 1024):
+        self.sim = sim
+        self.store = Store(sim, capacity=depth, name="tx-ring")
+        self.tail_drops = 0
+        #: High-water mark of ring occupancy (diagnostic).
+        self.max_occupancy = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Non-blocking enqueue; False (and drop-marked) when full."""
+        if self.store.try_put(packet):
+            occupancy = len(self.store)
+            if occupancy > self.max_occupancy:
+                self.max_occupancy = occupancy
+            return True
+        self.tail_drops += 1
+        packet.mark_dropped(DropReason.QUEUE_FULL)
+        return False
+
+    def get(self):
+        """Waitable dequeue for the traffic manager."""
+        return self.store.get()
+
+    def try_get(self) -> Optional[Packet]:
+        return self.store.try_get()
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -1,0 +1,61 @@
+"""The traffic manager and MAC: Tx ring → FIFO → wire.
+
+Paper §II-B: most NICs expose FIFO queues behind a round-robin
+scheduler, giving only per-queue fairness — no conditional policies.
+FlowValve therefore treats the whole egress side as *one* FIFO
+(abstraction F0 in Fig. 1). The model implements exactly that: a
+single drain process pulls the shared Tx ring in order and serialises
+each frame onto the :class:`~repro.net.link.Link` at line rate, adding
+the configured fixed egress latency (Tx DMA + TM + MAC).
+"""
+
+from __future__ import annotations
+
+from ..net.link import Link
+from ..net.packet import Packet
+from .rings import TxRing
+
+__all__ = ["TrafficManager"]
+
+
+class TrafficManager:
+    """Drains the Tx ring onto the wire at line rate.
+
+    The NIC's fixed egress latency (Tx DMA + TM + MAC pipelines) is
+    modelled as part of the link's propagation delay — it delays
+    delivery without consuming wire bandwidth — so the pipeline
+    assembly folds ``NicConfig.tx_fixed_latency`` into the link.
+    """
+
+    def __init__(self, sim, tx_ring: TxRing, link: Link, on_sent=None):
+        self.sim = sim
+        self.tx_ring = tx_ring
+        self.link = link
+        #: Called with each packet once serialisation finishes (the
+        #: pipeline uses it to return the packet's buffer to the pool).
+        self.on_sent = on_sent
+        #: Frames handed to the MAC.
+        self.frames_out = 0
+        self._process = sim.process(self._drain())
+
+    def _drain(self):
+        """One frame at a time: dequeue, wait serialisation, repeat.
+
+        Waiting out each frame's serialisation time before the next
+        dequeue is what enforces the line rate; the fixed latency is
+        modelled on the link's propagation side so it doesn't consume
+        wire bandwidth.
+        """
+        while True:
+            packet: Packet = yield self.tx_ring.get()
+            self.frames_out += 1
+            start = self.sim.now
+            finish = self.link.send(packet)
+            yield finish - start
+            if self.on_sent is not None:
+                self.on_sent(packet)
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting in the Tx ring right now."""
+        return len(self.tx_ring)

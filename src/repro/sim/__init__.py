@@ -1,0 +1,42 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate every other subsystem runs on: the SmartNIC
+model, the host/TCP model, and the experiment harness all schedule
+work through one :class:`~repro.sim.simulator.Simulator`.
+
+Two programming styles are supported and interoperate freely:
+
+* **Callbacks** — ``sim.schedule(delay, fn, *args)`` for hot paths
+  (per-packet events) where generator overhead matters.
+* **Processes** — generator functions that ``yield`` waitables
+  (:meth:`Simulator.timeout`, :class:`~repro.sim.events.SimEvent`,
+  resource acquisitions) for sequential logic such as traffic drivers.
+
+Determinism: events at equal timestamps fire in schedule order, and all
+randomness flows through :class:`~repro.sim.randomness.RandomStreams`,
+so a seeded run is exactly reproducible.
+"""
+
+from .events import Event, EventQueue, SimEvent, AllOf, AnyOf
+from .simulator import Simulator
+from .process import Process
+from .resources import Lock, Store, TokenPool
+from .randomness import RandomStreams
+from .trace import Tracer, NullTracer, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimEvent",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "Process",
+    "Lock",
+    "Store",
+    "TokenPool",
+    "RandomStreams",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,221 @@
+"""Event primitives for the simulation kernel.
+
+Two distinct notions of "event" live here:
+
+* :class:`Event` — a *scheduled callback*: an entry in the simulator's
+  time-ordered :class:`EventQueue`. This is the low-level, high-volume
+  mechanism (one per packet arrival, per token-bucket refresh, ...).
+* :class:`SimEvent` — a *waitable condition* in the style of simpy:
+  processes subscribe to it and are resumed when it triggers. Used by
+  the generator-process layer and the resource classes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue", "SimEvent", "AllOf", "AnyOf"]
+
+
+class Event:
+    """A callback scheduled at an absolute simulation time.
+
+    Events are created through :meth:`Simulator.schedule`; user code
+    normally only keeps the handle to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent.
+
+        The entry stays in the heap (lazy deletion) and is skipped when
+        it reaches the front, so cancellation is O(1).
+        """
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} #{self.seq} {getattr(self.fn, '__name__', self.fn)}{state}>"
+
+
+class EventQueue:
+    """A time-ordered priority queue of :class:`Event` objects.
+
+    Ties are broken by insertion sequence so that equal-time events run
+    in the order they were scheduled — this is what makes runs
+    deterministic.
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()) -> Event:
+        """Insert a callback at absolute *time* and return its handle."""
+        event = Event(time, next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: an event in this queue was cancelled."""
+        self._live -= 1
+
+
+class SimEvent:
+    """A one-shot waitable condition.
+
+    Starts untriggered; :meth:`succeed` (or :meth:`fail`) triggers it
+    exactly once, resuming every subscribed process/callback. Late
+    subscribers on an already-triggered event are resumed immediately
+    (on the same simulation timestamp, via the simulator's "now" queue).
+    """
+
+    __slots__ = ("sim", "triggered", "ok", "value", "_callbacks")
+
+    def __init__(self, sim: "Any") -> None:
+        self.sim = sim
+        self.triggered = False
+        #: True if succeeded, False if failed; meaningless until triggered.
+        self.ok = True
+        #: Payload delivered to waiters (the yielded value in processes).
+        self.value: Any = None
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+
+    def subscribe(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register *callback* to run when the event triggers."""
+        if self.triggered:
+            # Deliver asynchronously-but-now to preserve run-to-completion
+            # semantics of the caller.
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully with an optional payload."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Trigger the event as failed; waiters re-raise *exc*."""
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError("SimEvent triggered twice")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, self)
+
+
+class AllOf(SimEvent):
+    """Triggers when *all* child events have succeeded.
+
+    The payload is the list of child values, in the order given.
+    Fails fast if any child fails.
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Any", events: Sequence[SimEvent]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.subscribe(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callable[[SimEvent], None]:
+        def on_child(event: SimEvent) -> None:
+            if self.triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self._values[index] = event.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+
+        return on_child
+
+
+class AnyOf(SimEvent):
+    """Triggers when the *first* child event triggers.
+
+    The payload is a ``(index, value)`` tuple identifying the winner.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Any", events: Sequence[SimEvent]):
+        super().__init__(sim)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(events):
+            event.subscribe(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callable[[SimEvent], None]:
+        def on_child(event: SimEvent) -> None:
+            if self.triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+            else:
+                self.succeed((index, event.value))
+
+        return on_child

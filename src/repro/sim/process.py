@@ -1,0 +1,126 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that ``yield``\\ s *waitables* —
+:class:`~repro.sim.events.SimEvent` instances (timeouts, resource
+acquisitions, other processes) or a bare ``float``/``int`` which is
+shorthand for ``sim.timeout(value)``.
+
+Example::
+
+    def sender(sim, link):
+        for i in range(10):
+            yield 0.001                 # pace at 1 ms
+            link.transmit(make_packet(i))
+
+    sim.process(sender(sim, link))
+    sim.run()
+
+A :class:`Process` is itself a :class:`SimEvent` that succeeds with the
+generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import ProcessError
+from .events import SimEvent
+
+__all__ = ["Process"]
+
+
+class Process(SimEvent):
+    """Drives a generator through the simulation kernel.
+
+    Created through :meth:`Simulator.process`; triggering semantics:
+
+    * succeeds with the generator's ``return`` value when it finishes;
+    * fails with the exception if the generator raises;
+    * :meth:`interrupt` throws :class:`ProcessInterrupt` into the
+      generator at the current timestamp.
+    """
+
+    __slots__ = ("_generator", "_alive")
+
+    def __init__(self, sim: Any, generator: Generator[Any, Any, Any]):
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"sim.process() needs a generator, got {type(generator).__name__} "
+                "(did you forget to call the generator function?)"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._alive = True
+        # Kick off on the current timestamp, after the caller returns.
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process now."""
+        if not self._alive:
+            return
+        self.sim.schedule(0.0, self._resume, None, ProcessInterrupt(cause))
+
+    # ------------------------------------------------------------------
+    def _resume(self, send_value: Any, throw_exc: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            if throw_exc is not None:
+                yielded = self._generator.throw(throw_exc)
+            else:
+                yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(getattr(stop, "value", None))
+            return
+        except ProcessInterrupt:
+            # Interrupt not handled by the process body: treat as a
+            # clean cancellation.
+            self._alive = False
+            self.succeed(None)
+            return
+        except Exception as exc:
+            self._alive = False
+            self.fail(exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            yielded = self.sim.timeout(float(yielded))
+        if not isinstance(yielded, SimEvent):
+            self._alive = False
+            exc = ProcessError(
+                f"process yielded unsupported object {yielded!r}; "
+                "yield a SimEvent or a delay in seconds"
+            )
+            self.fail(exc)
+            return
+        yielded.subscribe(self._on_waited)
+
+    def _on_waited(self, event: SimEvent) -> None:
+        if not self._alive:
+            return
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+
+class ProcessInterrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries whatever the interrupter passed along.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+__all__.append("ProcessInterrupt")

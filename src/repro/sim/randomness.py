@@ -1,0 +1,52 @@
+"""Deterministic per-purpose random streams.
+
+Sharing a single RNG across unrelated components couples their sampled
+sequences: adding one draw in the TCP model would perturb every packet
+size in the workload generator. :class:`RandomStreams` derives an
+independent, stable stream per name, so components stay decoupled and
+seeded runs stay reproducible as code evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A family of named :class:`random.Random` instances.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.stream("tcp")
+    >>> b = streams.stream("workload")
+    >>> a is streams.stream("tcp")
+    True
+
+    The per-name seed is derived by hashing ``(master_seed, name)``, so
+    the "tcp" stream produces the same sequence regardless of which
+    other streams exist or the order they were created in.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.master_seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(self._derive(name))
+            self._streams[name] = rng
+        return rng
+
+    def _derive(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def reset(self) -> None:
+        """Re-seed every existing stream back to its initial state."""
+        for name, rng in self._streams.items():
+            rng.seed(self._derive(name))

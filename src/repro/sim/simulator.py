@@ -1,0 +1,132 @@
+"""The simulation clock and event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventQueue, SimEvent
+from .randomness import RandomStreams
+from .trace import NullTracer, Tracer
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Owns simulated time and the event queue.
+
+    One :class:`Simulator` instance is shared by every component of an
+    experiment (hosts, NIC, links, schedulers). Time is a float in
+    seconds and only ever moves forward.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for :class:`~repro.sim.randomness.RandomStreams`;
+        identical seeds give bit-identical runs.
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` receiving structured
+        trace records from instrumented components.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        #: Count of events executed so far (diagnostic).
+        self.events_executed = 0
+        #: Per-purpose deterministic random streams.
+        self.random = RandomStreams(seed)
+        #: Structured trace sink; NullTracer discards everything.
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+
+    # ------------------------------------------------------------------
+    # time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` *delay* seconds from now; returns a handle.
+
+        ``delay`` must be non-negative. A zero delay runs the callback
+        after the current callback returns (run-to-completion), still at
+        the same timestamp.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, fn, args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulation *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        return self._queue.push(time, fn, args)
+
+    def event(self) -> SimEvent:
+        """Create a fresh untriggered :class:`SimEvent` bound to this sim."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> SimEvent:
+        """A :class:`SimEvent` that succeeds *delay* seconds from now."""
+        ev = SimEvent(self)
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    def process(self, generator: Any) -> "Any":
+        """Start a generator as a simulation process (see :mod:`.process`)."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        self.events_executed += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes *until*.
+
+        Returns the final simulation time. When *until* is given the
+        clock is advanced to exactly *until* even if the last event
+        fired earlier (so back-to-back ``run`` calls tile cleanly).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Make the current :meth:`run` return after this callback."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)

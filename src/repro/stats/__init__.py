@@ -1,0 +1,24 @@
+"""Measurement utilities: time series, rate meters, latency summaries,
+CPU accounting, and table rendering for the benchmark reports."""
+
+from .timeseries import TimeSeries, RateSeries
+from .rates import EwmaRate, WindowedRate
+from .latency import LatencySummary, summarize_latencies, percentile, jitter
+from .cpu import CoreUsage, CpuReport
+from .report import Table, render_table, format_series
+
+__all__ = [
+    "TimeSeries",
+    "RateSeries",
+    "EwmaRate",
+    "WindowedRate",
+    "LatencySummary",
+    "summarize_latencies",
+    "percentile",
+    "jitter",
+    "CoreUsage",
+    "CpuReport",
+    "Table",
+    "render_table",
+    "format_series",
+]

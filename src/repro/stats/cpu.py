@@ -1,0 +1,85 @@
+"""CPU-core utilisation accounting.
+
+The paper's headline operational claim is that offloading scheduling
+"contributes to saving at least two CPU cores" (§V-B). To reproduce
+that we track, per host core, how much simulated time was spent busy on
+each activity (application send path, scheduler enqueue/dequeue, DPDK
+polling) and convert it to core-equivalents.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["CoreUsage", "CpuReport"]
+
+
+@dataclass
+class CoreUsage:
+    """Busy-time ledger for one host CPU core."""
+
+    core_id: int
+    #: Busy seconds per activity name ("app", "qdisc", "dpdk-poll", ...).
+    busy: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def charge(self, activity: str, seconds: float) -> None:
+        """Add *seconds* of busy time under *activity*."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self.busy[activity] += seconds
+
+    def busy_seconds(self) -> float:
+        """Total busy time across activities."""
+        return sum(self.busy.values())
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over *elapsed* seconds, clamped to [0, 1]."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds() / elapsed)
+
+
+class CpuReport:
+    """Aggregates :class:`CoreUsage` ledgers into report numbers."""
+
+    def __init__(self) -> None:
+        self._cores: Dict[int, CoreUsage] = {}
+
+    def core(self, core_id: int) -> CoreUsage:
+        """The ledger for *core_id*, created on first use."""
+        usage = self._cores.get(core_id)
+        if usage is None:
+            usage = CoreUsage(core_id)
+            self._cores[core_id] = usage
+        return usage
+
+    @property
+    def cores(self) -> List[CoreUsage]:
+        """All ledgers, ordered by core id."""
+        return [self._cores[k] for k in sorted(self._cores)]
+
+    def total_busy(self, activity_prefix: str = "") -> float:
+        """Total busy seconds, optionally filtered by activity prefix."""
+        total = 0.0
+        for usage in self._cores.values():
+            for activity, seconds in usage.busy.items():
+                if activity.startswith(activity_prefix):
+                    total += seconds
+        return total
+
+    def core_equivalents(self, elapsed: float, activity_prefix: str = "") -> float:
+        """Busy time expressed as a number of fully-utilised cores.
+
+        ``core_equivalents(t, "qdisc")`` answers "how many cores did
+        the scheduler itself cost?" — the quantity the paper's
+        CPU-saving claim is about.
+        """
+        if elapsed <= 0:
+            return 0.0
+        return self.total_busy(activity_prefix) / elapsed
+
+    def cores_in_use(self, elapsed: float, threshold: float = 0.05) -> int:
+        """Number of cores with utilisation above *threshold*."""
+        return sum(1 for usage in self._cores.values() if usage.utilization(elapsed) > threshold)

@@ -1,0 +1,94 @@
+"""Latency statistics: percentiles, jitter, and summaries.
+
+Backs the Fig. 14 reproduction (one-way delay of each scheduler) and
+the paper's observation that FlowValve "almost causes no variations in
+delay" — jitter here is the standard deviation of one-way delays, with
+percentiles available for tail analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["LatencySummary", "summarize_latencies", "percentile", "jitter"]
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The *p*-th percentile (0..100) using linear interpolation.
+
+    Matches numpy's default ("linear") method so results are directly
+    comparable with offline analysis. Raises ``ValueError`` on empty
+    input or out-of-range *p*.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    # Lerp form: exact at both endpoints, never rounds outside
+    # [ordered[lo], ordered[hi]] the way the weighted-sum form can.
+    return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+
+def jitter(samples: Sequence[float]) -> float:
+    """Population standard deviation of the samples (0 for n < 2)."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / n
+    return math.sqrt(variance)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a set of one-way delay samples."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+    minimum: float
+    jitter: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """A copy with every time field multiplied by *factor*.
+
+        Used to translate delays measured in rate-scaled experiments
+        back to nominal units (see DESIGN.md scaling note).
+        """
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p99=self.p99 * factor,
+            maximum=self.maximum * factor,
+            minimum=self.minimum * factor,
+            jitter=self.jitter * factor,
+        )
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary`; empty input gives all-zeros."""
+    if not samples:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        p50=percentile(samples, 50),
+        p99=percentile(samples, 99),
+        maximum=max(samples),
+        minimum=min(samples),
+        jitter=jitter(samples),
+    )

@@ -1,0 +1,107 @@
+"""Online rate estimators.
+
+Both estimators answer "how fast is this flow *right now*?" — the
+question at the heart of FlowValve's Methodology (Section III-D):
+processing cores throttle a low-priority flow to ``link - R_high``
+using an *instant* rate estimate of the high-priority flow.
+
+:class:`WindowedRate` matches the paper's Eq. 3 (token consumption per
+update interval); :class:`EwmaRate` is a smoother alternative used by
+the DPDK baseline's oversubscription logic.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["EwmaRate", "WindowedRate"]
+
+
+class EwmaRate:
+    """Exponentially-weighted moving-average rate estimator.
+
+    The decay is expressed as a *time constant* ``tau``: a burst's
+    influence falls to 1/e after ``tau`` seconds of silence, giving a
+    well-defined behaviour under irregular packet arrivals.
+    """
+
+    def __init__(self, tau: float = 0.01):
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self._rate = 0.0
+        self._last_time = -1.0
+
+    def observe(self, time: float, amount: float) -> float:
+        """Fold in *amount* units observed at *time*; returns the rate."""
+        if self._last_time < 0:
+            self._last_time = time
+            self._rate = 0.0
+            return 0.0
+        dt = time - self._last_time
+        self._last_time = time
+        if dt <= 0:
+            # Same-instant arrivals: treat as an impulse spread over a
+            # negligible interval to avoid division by zero.
+            self._rate += amount / self.tau
+            return self._rate
+        alpha = 1.0 - math.exp(-dt / self.tau)
+        instantaneous = amount / dt
+        self._rate += alpha * (instantaneous - self._rate)
+        return self._rate
+
+    def rate(self, time: float) -> float:
+        """Decayed estimate at *time* without adding a sample."""
+        if self._last_time < 0:
+            return 0.0
+        dt = max(0.0, time - self._last_time)
+        return self._rate * math.exp(-dt / self.tau)
+
+
+class WindowedRate:
+    """Amount-over-interval estimator (the paper's Γ, Eq. 3).
+
+    Accumulates amounts between explicit epoch boundaries; calling
+    :meth:`roll` closes the current interval and returns
+    ``accumulated / ΔT``. This mirrors how FlowValve evaluates a
+    class's token consumption rate at every bucket replenishment.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._epoch_start = start_time
+        self._accumulated = 0.0
+        self._last_rate = 0.0
+
+    @property
+    def last_rate(self) -> float:
+        """Rate measured over the most recently closed interval."""
+        return self._last_rate
+
+    @property
+    def pending(self) -> float:
+        """Amount accumulated in the currently open interval."""
+        return self._accumulated
+
+    def observe(self, amount: float) -> None:
+        """Accumulate *amount* into the open interval."""
+        self._accumulated += amount
+
+    def roll(self, now: float) -> float:
+        """Close the interval at *now*; returns and stores its rate.
+
+        Zero-length intervals return the previous rate unchanged (two
+        cores racing to the same update timestamp must not divide by
+        zero — on the NFP this is guarded by the update lock).
+        """
+        dt = now - self._epoch_start
+        if dt > 0:
+            self._last_rate = self._accumulated / dt
+            self._accumulated = 0.0
+            self._epoch_start = now
+        return self._last_rate
+
+    def reset(self, now: float) -> None:
+        """Forget all state (expired-status removal, Subprocedure 3)."""
+        self._epoch_start = now
+        self._accumulated = 0.0
+        self._last_rate = 0.0

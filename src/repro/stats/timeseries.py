@@ -1,0 +1,114 @@
+"""Time-series containers.
+
+:class:`TimeSeries` stores raw ``(time, value)`` samples;
+:class:`RateSeries` turns a stream of sized events (packet deliveries)
+into a binned rate curve — exactly what the paper's Fig. 3/11
+throughput-over-time plots are made of.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["TimeSeries", "RateSeries"]
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` samples with query helpers.
+
+    Times must be appended in non-decreasing order (simulation time
+    only moves forward), which keeps queries O(log n).
+    """
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append(self, time: float, value: float) -> None:
+        """Add one sample; *time* must not precede the last sample."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series must be appended in order ({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: float, default: float = 0.0) -> float:
+        """Most recent value at or before *time* (step interpolation)."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            return default
+        return self.values[index]
+
+    def slice(self, start: float, end: float) -> "Tuple[Sequence[float], Sequence[float]]":
+        """Samples with ``start <= time < end`` as (times, values)."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return self.times[lo:hi], self.values[lo:hi]
+
+    def mean(self, start: float = -math.inf, end: float = math.inf) -> float:
+        """Arithmetic mean of sample values in ``[start, end)``."""
+        _, values = self.slice(max(start, self.times[0]) if self.times else 0.0, end) \
+            if self.times else ((), ())
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+class RateSeries:
+    """Bins sized events into fixed windows and reports rates.
+
+    ``add(t, amount)`` accumulates *amount* (e.g. bits) into the bin
+    containing *t*; :meth:`samples` yields ``(bin_end_time, rate)``
+    where rate is amount-per-second over the window.
+    """
+
+    def __init__(self, window: float = 0.1):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._bins: List[float] = []
+        self._total = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all amounts ever added."""
+        return self._total
+
+    def add(self, time: float, amount: float) -> None:
+        """Accumulate *amount* at *time* (times may arrive unordered
+        within reason; bin index is computed absolutely)."""
+        index = int(time / self.window)
+        bins = self._bins
+        if index >= len(bins):
+            bins.extend([0.0] * (index + 1 - len(bins)))
+        bins[index] += amount
+        self._total += amount
+
+    def samples(self) -> Iterable[Tuple[float, float]]:
+        """Yield ``(bin_end_time, rate_per_second)`` for every bin."""
+        for index, amount in enumerate(self._bins):
+            yield ((index + 1) * self.window, amount / self.window)
+
+    def rate_at(self, time: float) -> float:
+        """Rate of the bin containing *time* (0 outside recorded data)."""
+        index = int(time / self.window)
+        if 0 <= index < len(self._bins):
+            return self._bins[index] / self.window
+        return 0.0
+
+    def mean_rate(self, start: float, end: float) -> float:
+        """Average rate over ``[start, end)`` (bin-aligned)."""
+        if end <= start:
+            return 0.0
+        lo = int(start / self.window)
+        hi = max(lo + 1, int(math.ceil(end / self.window)))
+        window_bins = self._bins[lo:hi]
+        if not window_bins:
+            return 0.0
+        return sum(window_bins) / ((hi - lo) * self.window)

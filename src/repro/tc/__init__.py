@@ -1,0 +1,28 @@
+"""Traffic-control front end: policy AST, ``fv`` command parser, and
+packet classifier.
+
+This package is FlowValve's *front end* in the paper's Figure 5: the
+host-side service that takes ``fv`` command scripts (inheriting ``tc``
+option syntax), builds a validated policy description, and hands it to
+the back end (:mod:`repro.core`) which constructs the scheduling tree
+and filter tables.
+"""
+
+from .ast import ClassSpec, FilterSpec, PolicyConfig, QdiscSpec, parse_classid
+from .classifier import Classifier, FilterRule, MatchSpec
+from .parser import CommandParser, parse_script
+from .validate import validate_policy
+
+__all__ = [
+    "ClassSpec",
+    "FilterSpec",
+    "PolicyConfig",
+    "QdiscSpec",
+    "parse_classid",
+    "Classifier",
+    "FilterRule",
+    "MatchSpec",
+    "CommandParser",
+    "parse_script",
+    "validate_policy",
+]

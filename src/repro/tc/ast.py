@@ -1,0 +1,192 @@
+"""Policy abstract syntax: qdiscs, classes, and filters.
+
+A :class:`PolicyConfig` is the in-memory form of an ``fv`` script — the
+same information ``tc`` keeps in the kernel: one or more qdiscs, a
+hierarchy of traffic classes with rate parameters, and a prioritised
+filter list mapping packets to leaf classes.
+
+Identifiers follow ``tc`` convention: a qdisc handle is ``"major:"``
+(e.g. ``"1:"``) and a class id is ``"major:minor"`` (e.g. ``"1:10"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PolicyError
+
+__all__ = ["QdiscSpec", "ClassSpec", "FilterSpec", "PolicyConfig", "parse_classid"]
+
+#: Qdisc kinds the reproduction understands.
+QDISC_KINDS = ("htb", "prio", "fv")
+
+
+def parse_classid(text: str) -> Tuple[int, int]:
+    """Split ``"major:minor"`` into ints; minor defaults to 0 for a
+    bare handle like ``"1:"``.
+
+    >>> parse_classid("1:10")
+    (1, 10)
+    >>> parse_classid("1:")
+    (1, 0)
+    """
+    if ":" not in text:
+        raise PolicyError(f"malformed class id {text!r} (expected 'major:minor')")
+    major_text, _, minor_text = text.partition(":")
+    try:
+        major = int(major_text, 16) if major_text else 0
+        minor = int(minor_text, 16) if minor_text else 0
+    except ValueError:
+        raise PolicyError(f"malformed class id {text!r}") from None
+    return major, minor
+
+
+@dataclass
+class QdiscSpec:
+    """One queueing discipline attachment.
+
+    Attributes
+    ----------
+    kind: ``"htb"``, ``"prio"`` or ``"fv"`` (FlowValve's native kind,
+        accepting the union of HTB and PRIO class parameters).
+    handle: the qdisc handle, e.g. ``"1:"``.
+    parent: ``"root"`` or the parent class id for chained qdiscs.
+    default: minor number of the class unclassified traffic falls into
+        (HTB ``default`` option); 0 means drop unclassified.
+    bands: PRIO band count (PRIO only).
+    """
+
+    kind: str
+    handle: str
+    parent: str = "root"
+    default: int = 0
+    bands: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in QDISC_KINDS:
+            raise PolicyError(f"unknown qdisc kind {self.kind!r}")
+        parse_classid(self.handle)
+
+
+@dataclass
+class ClassSpec:
+    """One traffic class in the hierarchy.
+
+    Attributes
+    ----------
+    classid: this class's id, e.g. ``"1:10"``.
+    parent: parent class id or the qdisc handle for top-level classes.
+    rate: guaranteed rate in bit/s (HTB ``rate``). For FlowValve this is
+        the class's committed share used by the guarantee templates.
+    ceil: ceiling rate in bit/s; ``None`` means "parent's rate".
+    weight: relative weight among siblings for proportional sharing.
+    prio: priority among siblings (lower number = served first);
+        ``None`` means no priority relation.
+    guarantee: minimum bandwidth that must remain available to this
+        class while a higher-priority sibling is active (the paper's
+        "2 Gbps for ML" condition). ``None`` disables the template.
+    guarantee_threshold: parent bandwidth above which the guarantee
+        applies; below it siblings fall back to weighted sharing
+        (4 Gbps in the motivation example). Defaults to twice the
+        guarantee when a guarantee is set.
+    borrow: borrowing class label — lender class ids queried, in order,
+        when this class's own bucket is red (paper §IV-B).
+    """
+
+    classid: str
+    parent: str
+    rate: float = 0.0
+    ceil: Optional[float] = None
+    weight: float = 1.0
+    prio: Optional[int] = None
+    guarantee: Optional[float] = None
+    guarantee_threshold: Optional[float] = None
+    borrow: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        parse_classid(self.classid)
+        if self.rate < 0:
+            raise PolicyError(f"class {self.classid}: negative rate")
+        if self.ceil is not None and self.ceil <= 0:
+            raise PolicyError(f"class {self.classid}: ceil must be positive")
+        if self.weight <= 0:
+            raise PolicyError(f"class {self.classid}: weight must be positive")
+        if self.guarantee is not None and self.guarantee_threshold is None:
+            self.guarantee_threshold = 2 * self.guarantee
+
+
+@dataclass
+class FilterSpec:
+    """One classification rule.
+
+    ``match`` holds field/value pairs (see
+    :class:`~repro.tc.classifier.MatchSpec`); ``flowid`` is the leaf
+    class matched packets are steered to; lower ``prio`` rules are
+    consulted first, first match wins — ``tc`` semantics.
+    """
+
+    flowid: str
+    match: Dict[str, str] = field(default_factory=dict)
+    prio: int = 1
+    parent: str = "1:"
+
+    def __post_init__(self) -> None:
+        parse_classid(self.flowid)
+
+
+@dataclass
+class PolicyConfig:
+    """A complete policy: qdiscs + classes + filters.
+
+    Built either programmatically or by :func:`repro.tc.parse_script`;
+    consumed by :func:`repro.tc.validate_policy` and then by the
+    FlowValve front end (:mod:`repro.core.frontend`) or the baseline
+    schedulers.
+    """
+
+    qdiscs: List[QdiscSpec] = field(default_factory=list)
+    classes: List[ClassSpec] = field(default_factory=list)
+    filters: List[FilterSpec] = field(default_factory=list)
+
+    def add_qdisc(self, qdisc: QdiscSpec) -> QdiscSpec:
+        """Attach a qdisc; duplicate handles are rejected."""
+        if any(q.handle == qdisc.handle for q in self.qdiscs):
+            raise PolicyError(f"duplicate qdisc handle {qdisc.handle!r}")
+        self.qdiscs.append(qdisc)
+        return qdisc
+
+    def add_class(self, spec: ClassSpec) -> ClassSpec:
+        """Add a traffic class; duplicate class ids are rejected."""
+        if any(c.classid == spec.classid for c in self.classes):
+            raise PolicyError(f"duplicate class id {spec.classid!r}")
+        self.classes.append(spec)
+        return spec
+
+    def add_filter(self, spec: FilterSpec) -> FilterSpec:
+        """Add a filter rule (kept in insertion order within a prio)."""
+        self.filters.append(spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    def root_qdisc(self) -> QdiscSpec:
+        """The qdisc attached at root; raises if absent or ambiguous."""
+        roots = [q for q in self.qdiscs if q.parent == "root"]
+        if not roots:
+            raise PolicyError("policy has no root qdisc")
+        if len(roots) > 1:
+            raise PolicyError("policy has multiple root qdiscs")
+        return roots[0]
+
+    def class_map(self) -> Dict[str, ClassSpec]:
+        """Class id -> spec mapping."""
+        return {c.classid: c for c in self.classes}
+
+    def children_of(self, parent_id: str) -> List[ClassSpec]:
+        """Direct child classes of *parent_id* (a class id or handle)."""
+        return [c for c in self.classes if c.parent == parent_id]
+
+    def leaves(self) -> List[ClassSpec]:
+        """Classes that have no child classes."""
+        parents = {c.parent for c in self.classes}
+        return [c for c in self.classes if c.classid not in parents]

@@ -1,0 +1,260 @@
+"""The ``fv`` command-line parser.
+
+FlowValve's shell interface inherits ``tc`` option syntax (paper
+§III-E). This module parses command lines such as::
+
+    fv qdisc add dev eth0 root handle 1: htb default 30
+    fv class add dev eth0 parent 1: classid 1:1 htb rate 10gbit
+    fv class add dev eth0 parent 1:1 classid 1:20 fv rate 2gbit \
+        prio 2 guarantee 2gbit borrow 1:30,1:21
+    fv filter add dev eth0 parent 1: prio 1 match app=NC flowid 1:10
+    fv filter add dev eth0 parent 1: prio 1 u32 \
+        match ip src 10.0.0.1 match ip dport 80 0xffff flowid 1:10
+
+into :class:`~repro.tc.ast.PolicyConfig` objects. Both the compact
+``key=value`` match form (an ``fv`` convenience) and the classic
+``u32`` form are accepted.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict, List, Optional
+
+from ..errors import ParseError
+from ..units import parse_rate
+from .ast import ClassSpec, FilterSpec, PolicyConfig, QdiscSpec
+
+__all__ = ["CommandParser", "parse_script"]
+
+
+class _TokenStream:
+    """Cursor over a token list with descriptive errors."""
+
+    def __init__(self, tokens: List[str], command: str):
+        self._tokens = tokens
+        self._command = command
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def peek(self) -> Optional[str]:
+        return None if self.exhausted else self._tokens[self._pos]
+
+    def next(self, expectation: str) -> str:
+        if self.exhausted:
+            raise ParseError(
+                f"unexpected end of command, expected {expectation}",
+                command=self._command,
+                position=self._pos,
+            )
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def expect(self, literal: str) -> None:
+        token = self.next(repr(literal))
+        if token != literal:
+            raise ParseError(
+                f"expected {literal!r}, got {token!r}",
+                command=self._command,
+                position=self._pos - 1,
+            )
+
+    def accept(self, literal: str) -> bool:
+        if self.peek() == literal:
+            self._pos += 1
+            return True
+        return False
+
+
+class CommandParser:
+    """Parses ``fv``/``tc`` commands into a :class:`PolicyConfig`.
+
+    A parser instance accumulates state across commands (like the
+    kernel does across ``tc`` invocations); :attr:`policy` holds the
+    result.
+    """
+
+    def __init__(self, policy: Optional[PolicyConfig] = None):
+        self.policy = policy if policy is not None else PolicyConfig()
+        #: Device each object was attached to (informational).
+        self.devices: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def parse(self, line: str) -> None:
+        """Parse and apply one command line. Blank lines and ``#``
+        comments are ignored."""
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return
+        tokens = shlex.split(stripped)
+        if tokens and tokens[0] in ("fv", "tc"):
+            tokens = tokens[1:]
+        if not tokens:
+            return
+        stream = _TokenStream(tokens, stripped)
+        obj = stream.next("'qdisc', 'class' or 'filter'")
+        if obj == "qdisc":
+            self._parse_qdisc(stream)
+        elif obj == "class":
+            self._parse_class(stream)
+        elif obj == "filter":
+            self._parse_filter(stream)
+        else:
+            raise ParseError(f"unknown object {obj!r}", command=stripped, position=0)
+
+    # ------------------------------------------------------------------
+    def _parse_preamble(self, stream: _TokenStream) -> None:
+        """Consume ``add dev <dev>`` (only ``add`` is supported)."""
+        verb = stream.next("'add'")
+        if verb != "add":
+            raise ParseError(f"only 'add' is supported, got {verb!r}")
+        if stream.accept("dev"):
+            stream.next("device name")
+
+    def _parse_qdisc(self, stream: _TokenStream) -> None:
+        self._parse_preamble(stream)
+        parent = "root"
+        handle = ""
+        if stream.accept("root"):
+            parent = "root"
+        elif stream.accept("parent"):
+            parent = stream.next("parent id")
+        if stream.accept("handle"):
+            handle = stream.next("qdisc handle")
+        kind = stream.next("qdisc kind")
+        default = 0
+        bands = 3
+        while not stream.exhausted:
+            option = stream.next("qdisc option")
+            if option == "default":
+                default = int(stream.next("default minor"), 16)
+            elif option == "bands":
+                bands = int(stream.next("band count"))
+            else:
+                raise ParseError(f"unknown qdisc option {option!r}")
+        if not handle:
+            raise ParseError("qdisc needs 'handle <major:>'")
+        self.policy.add_qdisc(
+            QdiscSpec(kind=kind, handle=handle, parent=parent, default=default, bands=bands)
+        )
+
+    def _parse_class(self, stream: _TokenStream) -> None:
+        self._parse_preamble(stream)
+        stream.expect("parent")
+        parent = stream.next("parent id")
+        stream.expect("classid")
+        classid = stream.next("class id")
+        # Optional class kind token (htb / fv) before options.
+        if stream.peek() in ("htb", "fv", "prio"):
+            stream.next("class kind")
+        rate = 0.0
+        ceil: Optional[float] = None
+        weight = 1.0
+        prio: Optional[int] = None
+        guarantee: Optional[float] = None
+        threshold: Optional[float] = None
+        borrow: tuple = ()
+        while not stream.exhausted:
+            option = stream.next("class option")
+            if option == "rate":
+                rate = parse_rate(stream.next("rate value"))
+            elif option == "ceil":
+                ceil = parse_rate(stream.next("ceil value"))
+            elif option == "weight":
+                weight = float(stream.next("weight value"))
+            elif option == "prio":
+                prio = int(stream.next("prio value"))
+            elif option == "guarantee":
+                guarantee = parse_rate(stream.next("guarantee value"))
+            elif option == "threshold":
+                threshold = parse_rate(stream.next("threshold value"))
+            elif option == "borrow":
+                borrow = tuple(stream.next("borrow list").split(","))
+            elif option == "quantum":
+                stream.next("quantum value")  # accepted for tc parity, unused
+            elif option == "burst":
+                stream.next("burst value")  # accepted for tc parity, unused
+            else:
+                raise ParseError(f"unknown class option {option!r}")
+        self.policy.add_class(
+            ClassSpec(
+                classid=classid,
+                parent=parent,
+                rate=rate,
+                ceil=ceil,
+                weight=weight,
+                prio=prio,
+                guarantee=guarantee,
+                guarantee_threshold=threshold,
+                borrow=borrow,
+            )
+        )
+
+    def _parse_filter(self, stream: _TokenStream) -> None:
+        self._parse_preamble(stream)
+        parent = "1:"
+        prio = 1
+        match: Dict[str, str] = {}
+        flowid = ""
+        while not stream.exhausted:
+            option = stream.next("filter option")
+            if option == "parent":
+                parent = stream.next("parent id")
+            elif option == "protocol":
+                stream.next("protocol name")  # accepted, unused
+            elif option == "prio" or option == "pref":
+                prio = int(stream.next("prio value"))
+            elif option == "u32":
+                continue  # marker token; matches follow
+            elif option == "match":
+                self._parse_match(stream, match)
+            elif option == "flowid":
+                flowid = stream.next("flow id")
+            else:
+                raise ParseError(f"unknown filter option {option!r}")
+        if not flowid:
+            raise ParseError("filter needs 'flowid <classid>'")
+        self.policy.add_filter(FilterSpec(flowid=flowid, match=match, prio=prio, parent=parent))
+
+    def _parse_match(self, stream: _TokenStream, match: Dict[str, str]) -> None:
+        token = stream.next("match expression")
+        if "=" in token:
+            # fv compact form: match app=KVS
+            key, _, value = token.partition("=")
+            match[key] = value
+            return
+        if token == "ip":
+            # u32 form: match ip <field> <value> [mask]
+            field = stream.next("u32 field")
+            value = stream.next("u32 value")
+            if not stream.exhausted and stream.peek().startswith("0x"):
+                stream.next("u32 mask")  # masks accepted, exact-match applied
+            u32_fields = {"src": "src", "dst": "dst", "sport": "sport", "dport": "dport",
+                          "protocol": "proto"}
+            if field not in u32_fields:
+                raise ParseError(f"unsupported u32 field {field!r}")
+            match[u32_fields[field]] = value
+            return
+        raise ParseError(f"cannot parse match term {token!r}")
+
+
+def parse_script(text: str, policy: Optional[PolicyConfig] = None) -> PolicyConfig:
+    """Parse a multi-line ``fv`` script (``\\`` line continuations
+    honoured) and return the resulting policy."""
+    parser = CommandParser(policy)
+    logical_line = ""
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if line.endswith("\\"):
+            logical_line += line[:-1] + " "
+            continue
+        logical_line += line
+        parser.parse(logical_line)
+        logical_line = ""
+    if logical_line.strip():
+        parser.parse(logical_line)
+    return parser.policy

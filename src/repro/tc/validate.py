@@ -1,0 +1,123 @@
+"""Semantic validation of policy configurations.
+
+The front end refuses to push a broken policy to the NIC: every check
+here corresponds to a way a structurally-parseable config could still
+describe an unenforceable scheduling tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import ValidationError
+from .ast import ClassSpec, PolicyConfig
+from .classifier import MatchSpec
+
+__all__ = ["validate_policy"]
+
+
+def validate_policy(policy: PolicyConfig) -> None:
+    """Raise :class:`ValidationError` describing every problem found.
+
+    Checks performed:
+
+    * exactly one root qdisc exists;
+    * every class's parent is the root handle or another class;
+    * the class graph is a tree (no cycles, single root attachment);
+    * rates: a child's guaranteed rate may not exceed its parent's
+      ceiling; ceil >= rate per class;
+    * every filter flowid points at an existing *leaf* class;
+    * borrow labels reference existing classes other than the borrower;
+    * match fields compile;
+    * the qdisc ``default`` minor, when set, names an existing leaf.
+    """
+    problems: List[str] = []
+    root = None
+    try:
+        root = policy.root_qdisc()
+    except Exception as exc:
+        problems.append(str(exc))
+
+    class_map: Dict[str, ClassSpec] = policy.class_map()
+    handles = {q.handle for q in policy.qdiscs}
+
+    # --- parent linkage & tree shape ---------------------------------
+    for spec in policy.classes:
+        if spec.parent not in class_map and spec.parent not in handles:
+            problems.append(
+                f"class {spec.classid}: parent {spec.parent!r} is neither a class nor a qdisc handle"
+            )
+    _check_acyclic(policy, class_map, problems)
+
+    # --- rate sanity ---------------------------------------------------
+    for spec in policy.classes:
+        if spec.ceil is not None and spec.rate > spec.ceil:
+            problems.append(
+                f"class {spec.classid}: rate {spec.rate:.0f} exceeds ceil {spec.ceil:.0f}"
+            )
+        parent = class_map.get(spec.parent)
+        if parent is not None and parent.ceil is not None and spec.rate > parent.ceil:
+            problems.append(
+                f"class {spec.classid}: rate {spec.rate:.0f} exceeds parent ceil {parent.ceil:.0f}"
+            )
+        if spec.guarantee is not None and spec.guarantee <= 0:
+            problems.append(f"class {spec.classid}: guarantee must be positive")
+
+    # --- filters ---------------------------------------------------------
+    leaf_ids = {c.classid for c in policy.leaves()}
+    for index, filt in enumerate(policy.filters):
+        if filt.flowid not in class_map:
+            problems.append(f"filter #{index}: flowid {filt.flowid!r} does not exist")
+        elif filt.flowid not in leaf_ids:
+            problems.append(f"filter #{index}: flowid {filt.flowid!r} is not a leaf class")
+        try:
+            MatchSpec.compile(filt.match)
+        except ValidationError as exc:
+            problems.append(f"filter #{index}: {exc}")
+
+    # --- borrow labels ----------------------------------------------------
+    for spec in policy.classes:
+        for lender in spec.borrow:
+            if lender == spec.classid:
+                problems.append(f"class {spec.classid}: cannot borrow from itself")
+            elif lender not in class_map:
+                problems.append(f"class {spec.classid}: borrow target {lender!r} does not exist")
+
+    # --- default class -----------------------------------------------------
+    if root is not None and root.default:
+        major, _ = _split_handle(root.handle)
+        default_id = f"{major}:{root.default:x}"
+        if default_id not in leaf_ids:
+            problems.append(
+                f"qdisc {root.handle}: default class {default_id!r} is not an existing leaf"
+            )
+
+    if problems:
+        raise ValidationError("; ".join(problems))
+
+
+def _split_handle(handle: str) -> "tuple[str, str]":
+    major, _, minor = handle.partition(":")
+    return major, minor
+
+
+def _check_acyclic(
+    policy: PolicyConfig, class_map: Dict[str, ClassSpec], problems: List[str]
+) -> None:
+    """Detect cycles by walking each class up to a qdisc handle."""
+    handles = {q.handle for q in policy.qdiscs}
+    for spec in policy.classes:
+        seen: Set[str] = {spec.classid}
+        cursor = spec.parent
+        while cursor in class_map:
+            if cursor in seen:
+                problems.append(f"class {spec.classid}: cycle through {cursor!r}")
+                break
+            seen.add(cursor)
+            cursor = class_map[cursor].parent
+        else:
+            if cursor not in handles and spec.parent in class_map:
+                # Walked off the top without reaching a qdisc handle.
+                problems.append(
+                    f"class {spec.classid}: hierarchy does not reach a qdisc handle"
+                )

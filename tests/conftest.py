@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.core import FlowValve
+from repro.core.scheduling import Verdict
+from repro.core.sched_tree import SchedulingParams
+from repro.net import FiveTuple, PacketFactory
+
+# A scheduling parameter set suitable for Mbit-scale unit tests:
+# 100 ms epochs give plenty of packets per interval at low rates.
+TEST_PARAMS = SchedulingParams(update_interval=0.1, expire_after=1.0)
+
+
+def make_flow(index: int, dport: int = 80) -> FiveTuple:
+    """A distinct five-tuple per index."""
+    return FiveTuple(f"10.0.0.{index}", "10.0.1.1", 40000 + index, dport)
+
+
+def drive_valve(
+    valve: FlowValve,
+    demands: Dict[str, Callable[[float], float]],
+    duration: float,
+    packet_size: int = 1250,
+    start: float = 0.0,
+) -> Dict[str, float]:
+    """Offer traffic to *valve* per-app at time-varying demand rates.
+
+    ``demands`` maps app name -> callable(t) -> offered bit/s (0 = idle
+    at that moment). Returns achieved throughput in bit/s per app over
+    [start, start+duration). Event-driven: each app sends its next
+    packet exactly one packet-time after the previous at the current
+    demand.
+    """
+    factory = PacketFactory()
+    flows = {app: make_flow(i) for i, app in enumerate(sorted(demands))}
+    size_bits = packet_size * 8
+    forwarded = {app: 0 for app in demands}
+    heap: List[Tuple[float, str]] = [(start, app) for app in sorted(demands)]
+    heapq.heapify(heap)
+    end = start + duration
+    while heap:
+        t, app = heapq.heappop(heap)
+        if t >= end:
+            continue
+        rate = demands[app](t)
+        if rate <= 0:
+            # Re-poll for demand a little later.
+            heapq.heappush(heap, (t + 0.05, app))
+            continue
+        packet = factory.make(packet_size, flows[app], t, app=app)
+        if valve.process(packet, t) is Verdict.FORWARD:
+            forwarded[app] += 1
+        heapq.heappush(heap, (t + size_bits / rate, app))
+    return {app: count * size_bits / duration for app, count in forwarded.items()}
+
+
+def constant(rate: float) -> Callable[[float], float]:
+    """A constant-demand callable."""
+    return lambda t: rate
+
+
+@pytest.fixture
+def test_params() -> SchedulingParams:
+    """Unit-test scheduling parameters (long epochs, low rates)."""
+    return TEST_PARAMS

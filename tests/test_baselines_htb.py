@@ -1,0 +1,172 @@
+"""Tests for the HTB and PRIO qdisc algorithms (without the kernel
+runtime — pure dequeue semantics)."""
+
+import pytest
+
+from repro.baselines import HtbClass, HtbQdisc, PrioQdisc
+from repro.errors import PolicyError
+from repro.net import FiveTuple, PacketFactory
+from repro.tc import Classifier, FilterSpec
+from repro.tc.parser import parse_script
+
+
+@pytest.fixture
+def factory():
+    return PacketFactory()
+
+
+def packet(factory, app="A", size=1250):
+    return factory.make(size, FiveTuple("10.0.0.1", "10.0.1.1", 1, 2), 0.0, app=app)
+
+
+def drain(qdisc, now, rate_bps, duration, size_bits=10160.0):
+    """Dequeue at a fixed wire rate for *duration*; returns packets per
+    leaf class id."""
+    out = {}
+    t = now
+    end = now + duration
+    while t < end:
+        pkt = qdisc.dequeue(t)
+        if pkt is None:
+            ready = qdisc.next_ready_time(t)
+            if ready is None:
+                break
+            t = max(ready, t + 1e-6)
+            continue
+        out[pkt.app] = out.get(pkt.app, 0) + 1
+        t += size_bits / rate_bps
+    return out
+
+
+class TestPrio:
+    def test_strict_priority_order(self, factory):
+        classifier = Classifier([
+            FilterSpec(flowid="1:1", match={"app": "hi"}),
+            FilterSpec(flowid="1:2", match={"app": "lo"}),
+        ])
+        prio = PrioQdisc(bands=3, classifier=classifier)
+        lo = packet(factory, "lo")
+        hi = packet(factory, "hi")
+        prio.enqueue(lo, 0.0)
+        prio.enqueue(hi, 0.0)
+        assert prio.dequeue(0.0) is hi
+        assert prio.dequeue(0.0) is lo
+
+    def test_unmatched_goes_to_default_band(self, factory):
+        prio = PrioQdisc(bands=3)
+        assert prio.band_for(packet(factory, "anything")) == 2
+
+    def test_band_queue_limit(self, factory):
+        prio = PrioQdisc(bands=1, queue_limit=1)
+        assert prio.enqueue(packet(factory), 0.0)
+        assert not prio.enqueue(packet(factory), 0.0)
+
+    def test_never_throttles(self, factory):
+        prio = PrioQdisc(bands=2)
+        assert prio.next_ready_time(1.0) is None
+        prio.enqueue(packet(factory), 1.0)
+        assert prio.next_ready_time(1.0) == 1.0
+
+    def test_needs_a_band(self):
+        with pytest.raises(ValueError):
+            PrioQdisc(bands=0)
+
+
+class TestHtbStructure:
+    def test_rate_above_ceil_rejected(self):
+        with pytest.raises(PolicyError):
+            HtbClass("1:1", rate_bps=2e6, ceil_bps=1e6)
+
+    def test_from_policy(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: htb default 10\n"
+            "fv class add dev eth0 parent 1: classid 1:1 htb rate 10mbit ceil 10mbit\n"
+            "fv class add dev eth0 parent 1:1 classid 1:10 htb rate 5mbit ceil 10mbit\n"
+            "fv filter add dev eth0 parent 1: match app=A flowid 1:10\n"
+        )
+        qdisc = HtbQdisc.from_policy(policy)
+        assert qdisc.default_class == "1:10"
+        assert qdisc.root.classid == "1:1"
+
+    def test_quantum_capped_at_kernel_warning_threshold(self):
+        big = HtbClass("1:1", rate_bps=10e9)
+        assert big.quantum == 200_000 * 8.0
+
+
+class TestHtbScheduling:
+    def _two_class_qdisc(self, rate_a=6e6, rate_b=3e6, ceil_b=9e6):
+        root = HtbClass("1:1", rate_bps=9e6, ceil_bps=9e6)
+        HtbClass("1:10", rate_bps=rate_a, ceil_bps=9e6, parent=root)
+        HtbClass("1:20", rate_bps=rate_b, ceil_bps=max(rate_b, ceil_b), parent=root)
+        classifier = Classifier([
+            FilterSpec(flowid="1:10", match={"app": "A"}),
+            FilterSpec(flowid="1:20", match={"app": "B"}),
+        ])
+        # Deep queues so classes stay backlogged for the whole drain
+        # (the assertions are about scheduling, not queue exhaustion).
+        return HtbQdisc(root, classifier, queue_limit=10_000)
+
+    def test_assured_rates_respected(self, factory):
+        qdisc = self._two_class_qdisc()
+        t = 0.0
+        # Keep both classes backlogged and drain at wire speed 9 Mbit.
+        for _ in range(5000):
+            qdisc.enqueue(packet(factory, "A"), t)
+            qdisc.enqueue(packet(factory, "B"), t)
+        out = drain(qdisc, 0.0, rate_bps=9e6, duration=5.0)
+        total = out["A"] + out["B"]
+        # A should get roughly its 2/3 assured share.
+        assert out["A"] / total == pytest.approx(2 / 3, rel=0.15)
+
+    def test_borrowing_when_sibling_idle(self, factory):
+        qdisc = self._two_class_qdisc()
+        for _ in range(5000):
+            qdisc.enqueue(packet(factory, "B"), 0.0)
+        out = drain(qdisc, 0.0, rate_bps=9e6, duration=3.0)
+        # B alone exceeds its 3 Mbit assured rate by borrowing to ceil.
+        achieved = out["B"] * 10160 / 3.0
+        assert achieved > 6e6
+
+    def test_ceiling_blocks_borrowing(self, factory):
+        qdisc = self._two_class_qdisc(ceil_b=4e6)
+        for _ in range(5000):
+            qdisc.enqueue(packet(factory, "B"), 0.0)
+        out = drain(qdisc, 0.0, rate_bps=9e6, duration=3.0)
+        achieved = out.get("B", 0) * 10160 / 3.0
+        assert achieved == pytest.approx(4e6, rel=0.2)
+
+    def test_refill_inflation_overshoots(self, factory):
+        """The kernel-artifact knob: inflated refills let classes beat
+        their ceiling — the Fig. 3 overshoot mechanism."""
+        qdisc = self._two_class_qdisc(ceil_b=6e6)
+        qdisc.refill_inflation = 1.25
+        for _ in range(8000):
+            qdisc.enqueue(packet(factory, "B"), 0.0)
+        out = drain(qdisc, 0.0, rate_bps=20e6, duration=3.0)
+        achieved = out["B"] * 10160 / 3.0
+        assert achieved > 1.1 * 6e6
+
+    def test_priority_not_honoured_between_siblings(self, factory):
+        """What the paper observed (Fig. 3, third artifact): equal
+        rates → equal DRR shares regardless of any priority intent."""
+        qdisc = self._two_class_qdisc(rate_a=4.5e6, rate_b=4.5e6)
+        for _ in range(5000):
+            qdisc.enqueue(packet(factory, "A"), 0.0)
+            qdisc.enqueue(packet(factory, "B"), 0.0)
+        out = drain(qdisc, 0.0, rate_bps=9e6, duration=3.0)
+        assert out["A"] == pytest.approx(out["B"], rel=0.1)
+
+    def test_unclassified_dropped_without_default(self, factory):
+        qdisc = self._two_class_qdisc()
+        assert not qdisc.enqueue(packet(factory, "mystery"), 0.0)
+        assert qdisc.unclassified_drops == 1
+
+    def test_backlog_counts(self, factory):
+        qdisc = self._two_class_qdisc()
+        qdisc.enqueue(packet(factory, "A"), 0.0)
+        qdisc.enqueue(packet(factory, "B"), 0.0)
+        assert qdisc.backlog == 2
+
+    def test_next_ready_time_none_when_empty(self):
+        qdisc = self._two_class_qdisc()
+        assert qdisc.next_ready_time(0.0) is None

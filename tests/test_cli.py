@@ -1,0 +1,88 @@
+"""Tests for the fv command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+POLICY = """
+fv qdisc add dev eth0 root handle 1: fv default 0
+fv class add dev eth0 parent 1: classid 1:1 fv rate 10mbit ceil 10mbit
+fv class add dev eth0 parent 1:1 classid 1:10 fv weight 2 borrow 1:20
+fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1
+fv filter add dev eth0 parent 1: match app=A flowid 1:10
+fv filter add dev eth0 parent 1: match app=B flowid 1:20
+"""
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "policy.fv"
+    path.write_text(POLICY)
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_policy_ok(self, policy_file, capsys):
+        assert main(["check", policy_file, "--link", "10mbit"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "3 classes" in out
+
+    def test_invalid_policy_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.fv"
+        path.write_text(POLICY + "fv filter add dev eth0 parent 1: match app=X flowid 9:9\n")
+        assert main(["check", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["check", "/nonexistent/policy.fv"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.fv"
+        path.write_text("fv qdisc add dev eth0 root frobnicate\n")
+        assert main(["check", str(path)]) == 1
+
+
+class TestShow:
+    def test_prints_tree(self, policy_file, capsys):
+        assert main(["show", policy_file, "--link", "10mbit"]) == 0
+        out = capsys.readouterr().out
+        assert "1:10" in out and "1:20" in out
+        assert "θ=" in out
+
+
+class TestSimulate:
+    def test_enforces_weighted_split(self, policy_file, capsys):
+        code = main([
+            "simulate", policy_file, "--link", "10mbit",
+            "--app", "A=20mbit", "--app", "B=20mbit",
+            "--duration", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A" in out and "B" in out and "total" in out
+
+    def test_requires_an_app(self, policy_file, capsys):
+        assert main(["simulate", policy_file]) == 1
+        assert "--app" in capsys.readouterr().err
+
+    def test_rejects_malformed_app_spec(self, policy_file, capsys):
+        assert main(["simulate", policy_file, "--app", "nonsense"]) == 1
+
+    def test_achieved_rates_respect_policy(self, policy_file, capsys):
+        main([
+            "simulate", policy_file, "--link", "10mbit",
+            "--app", "A=20mbit", "--app", "B=20mbit",
+            "--duration", "20",
+        ])
+        out = capsys.readouterr().out
+        # Parse the achieved column for app A: ~6.5 Mbit (2/3 of 9.7).
+        for line in out.splitlines():
+            if line.strip().startswith("A:"):
+                achieved = line.split("achieved")[1].strip()
+                value = float(achieved.replace("Mbit", ""))
+                assert 5.5 < value < 7.5
+                break
+        else:
+            pytest.fail(f"no per-app line in output:\n{out}")

@@ -1,0 +1,169 @@
+"""Tests for QoS labels, the exact-match flow cache, and the labeling
+function."""
+
+import pytest
+
+from repro.core import ExactMatchCache, FlowValveFrontend, QosLabel
+from repro.core.sched_tree import SchedulingParams
+from repro.errors import CapacityError, UnknownClassError
+from repro.net import FiveTuple, PacketFactory
+
+SCRIPT = """
+fv qdisc add dev eth0 root handle 1: fv default 0
+fv class add dev eth0 parent 1: classid 1:1 fv rate 10mbit ceil 10mbit
+fv class add dev eth0 parent 1:1 classid 1:2 fv weight 1
+fv class add dev eth0 parent 1:2 classid 1:10 fv weight 1 borrow 1:20
+fv class add dev eth0 parent 1:2 classid 1:20 fv weight 1
+fv filter add dev eth0 parent 1: match app=A flowid 1:10
+fv filter add dev eth0 parent 1: match app=B flowid 1:20
+"""
+
+
+@pytest.fixture
+def frontend():
+    return FlowValveFrontend.from_script(
+        SCRIPT, link_rate_bps=10e6,
+        params=SchedulingParams(update_interval=0.1, expire_after=1.0),
+    )
+
+
+class TestQosLabel:
+    def test_leaf_and_root(self):
+        label = QosLabel(hierarchy=("1:1", "1:2", "1:10"), borrow=("1:20",))
+        assert label.leaf == "1:10"
+        assert label.root == "1:1"
+        assert label.depth == 3
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            QosLabel(hierarchy=())
+
+    def test_apply_to_packet(self):
+        label = QosLabel(hierarchy=("1:1", "1:10"), borrow=("1:20",))
+        packet = PacketFactory().make(64, FiveTuple("a", "b", 1, 2), 0.0)
+        label.apply_to(packet)
+        assert packet.hierarchy_label == ("1:1", "1:10")
+        assert packet.borrow_label == ("1:20",)
+
+    def test_str_rendering(self):
+        label = QosLabel(hierarchy=("1:1", "1:10"), borrow=("1:20",))
+        assert "1:1->1:10" in str(label)
+        assert "1:20" in str(label)
+
+
+class TestExactMatchCache:
+    def test_hit_after_put(self):
+        cache = ExactMatchCache(capacity=4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = ExactMatchCache(capacity=4)
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ExactMatchCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a
+        cache.put("c", 3)       # evicts b (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+
+    def test_idle_expiry(self):
+        cache = ExactMatchCache(capacity=4, idle_timeout=1.0)
+        cache.put("k", "v", now=0.0)
+        assert cache.get("k", now=0.5) == "v"
+        assert cache.get("k", now=2.0) is None  # expired
+
+    def test_clear(self):
+        cache = ExactMatchCache(capacity=4)
+        cache.put("k", "v")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalidate(self):
+        cache = ExactMatchCache(capacity=4)
+        cache.put("k", "v")
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            ExactMatchCache(capacity=0)
+
+    def test_hit_ratio(self):
+        cache = ExactMatchCache(capacity=4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("x")
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+
+class TestLabelingFunction:
+    def test_hierarchy_path_is_root_to_leaf(self, frontend):
+        packet = PacketFactory().make(64, FiveTuple("a", "b", 1, 2), 0.0, app="A")
+        label = frontend.labeler.label(packet, 0.0)
+        assert label.hierarchy == ("1:1", "1:2", "1:10")
+        assert label.borrow == ("1:20",)
+
+    def test_second_packet_hits_cache(self, frontend):
+        factory = PacketFactory()
+        flow = FiveTuple("a", "b", 1, 2)
+        frontend.labeler.label(factory.make(64, flow, 0.0, app="A"), 0.0)
+        lookups_before = frontend.classifier.lookups
+        frontend.labeler.label(factory.make(64, flow, 0.0, app="A"), 0.1)
+        assert frontend.classifier.lookups == lookups_before  # slow path skipped
+
+    def test_distinct_flows_distinct_entries(self, frontend):
+        factory = PacketFactory()
+        frontend.labeler.label(factory.make(64, FiveTuple("a", "b", 1, 2), 0.0, app="A"), 0.0)
+        frontend.labeler.label(factory.make(64, FiveTuple("c", "d", 3, 4), 0.0, app="B"), 0.0)
+        assert len(frontend.labeler.cache) == 2
+
+    def test_unmatched_without_default_dropped(self, frontend):
+        packet = PacketFactory().make(64, FiveTuple("a", "b", 1, 2), 0.0, app="Z")
+        assert frontend.labeler.label(packet, 0.0) is None
+        assert packet.dropped
+        assert frontend.labeler.unclassified_drops == 1
+
+    def test_label_for_unknown_leaf_raises(self, frontend):
+        with pytest.raises(UnknownClassError):
+            frontend.labeler.label_for_leaf("9:99")
+
+    def test_cache_disabled(self):
+        frontend = FlowValveFrontend.from_script(
+            SCRIPT, link_rate_bps=10e6,
+            params=SchedulingParams(update_interval=0.1, expire_after=1.0),
+            cache_size=0,
+        )
+        factory = PacketFactory()
+        flow = FiveTuple("a", "b", 1, 2)
+        frontend.labeler.label(factory.make(64, flow, 0.0, app="A"), 0.0)
+        frontend.labeler.label(factory.make(64, flow, 0.0, app="A"), 0.0)
+        assert frontend.classifier.lookups == 2  # every packet walks rules
+        assert frontend.labeler.cache_hit_ratio == 0.0
+
+
+class TestFrontend:
+    def test_describe_mentions_classes_and_filters(self, frontend):
+        text = frontend.describe()
+        assert "4 classes" in text
+        assert "2 filters" in text
+
+    def test_class_rates_snapshot(self, frontend):
+        rates = frontend.class_rates()
+        assert set(rates) == {"1:1", "1:2", "1:10", "1:20"}
+        theta, gamma = rates["1:1"]
+        assert theta == pytest.approx(0.97 * 10e6)
+        assert gamma == 0.0
+
+    def test_invalid_policy_rejected_at_construction(self):
+        bad = SCRIPT + "fv filter add dev eth0 parent 1: match app=X flowid 9:99\n"
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            FlowValveFrontend.from_script(bad, link_rate_bps=10e6)

@@ -1,0 +1,126 @@
+"""Tests for offload compilation (qdisc chaining, §III-E)."""
+
+import pytest
+
+from repro.core import FlowValve
+from repro.core.offload import compile_offload
+from repro.core.scheduling import Verdict
+from repro.core.sched_tree import SchedulingParams
+from repro.errors import PolicyError
+from repro.net import FiveTuple, PacketFactory
+from repro.tc.parser import parse_script
+from repro.tc.validate import validate_policy
+
+from conftest import TEST_PARAMS, constant, drive_valve
+
+#: The paper's chaining shape: PRIO at root, HTB under band 2.
+CHAINED = """
+tc qdisc add dev eth0 root handle 1: prio bands 3
+tc qdisc add dev eth0 parent 1:2 handle 2: htb
+tc class add dev eth0 parent 2: classid 2:1 htb rate 8mbit ceil 8mbit
+tc class add dev eth0 parent 2:1 classid 2:10 htb rate 6mbit weight 2
+tc class add dev eth0 parent 2:1 classid 2:20 htb rate 2mbit weight 1
+tc filter add dev eth0 parent 1: prio 1 match app=NC flowid 1:1
+tc filter add dev eth0 parent 1: prio 1 match app=KVS flowid 2:10
+tc filter add dev eth0 parent 1: prio 1 match app=ML flowid 2:20
+"""
+
+
+class TestCompileOffload:
+    def test_single_htb_passthrough(self):
+        policy = parse_script(
+            "tc qdisc add dev eth0 root handle 1: htb\n"
+            "tc class add dev eth0 parent 1: classid 1:1 htb rate 1mbit\n"
+        )
+        assert compile_offload(policy, 10e6) is policy
+
+    def test_chained_tree_validates(self):
+        compiled = compile_offload(parse_script(CHAINED), 10e6)
+        validate_policy(compiled)
+
+    def test_bands_become_priority_classes(self):
+        compiled = compile_offload(parse_script(CHAINED), 10e6)
+        bands = [c for c in compiled.classes if c.classid.startswith("f:b")]
+        assert len(bands) == 3
+        assert sorted(c.prio for c in bands) == [0, 1, 2]
+
+    def test_htb_classes_grafted_under_band(self):
+        compiled = compile_offload(parse_script(CHAINED), 10e6)
+        class_map = compiled.class_map()
+        leaf = class_map["f:210"]
+        assert class_map[leaf.parent].parent == "f:b2"
+
+    def test_filters_rewritten(self):
+        compiled = compile_offload(parse_script(CHAINED), 10e6)
+        targets = {f.match["app"]: f.flowid for f in compiled.filters}
+        assert targets["NC"] == "f:b1"
+        assert targets["KVS"] == "f:210"
+        assert targets["ML"] == "f:220"
+
+    def test_prio_under_prio_rejected(self):
+        policy = parse_script(
+            "tc qdisc add dev eth0 root handle 1: prio\n"
+            "tc qdisc add dev eth0 parent 1:2 handle 2: prio\n"
+        )
+        with pytest.raises(PolicyError, match="only HTB"):
+            compile_offload(policy, 10e6)
+
+    def test_chaining_under_htb_rejected(self):
+        policy = parse_script(
+            "tc qdisc add dev eth0 root handle 1: htb\n"
+            "tc class add dev eth0 parent 1: classid 1:1 htb rate 1mbit\n"
+            "tc qdisc add dev eth0 parent 1:1 handle 2: htb\n"
+        )
+        with pytest.raises(PolicyError, match="chaining under an HTB root"):
+            compile_offload(policy, 10e6)
+
+    def test_band_out_of_range_rejected(self):
+        policy = parse_script(
+            "tc qdisc add dev eth0 root handle 1: prio bands 2\n"
+            "tc qdisc add dev eth0 parent 1:5 handle 2: htb\n"
+            "tc class add dev eth0 parent 2: classid 2:1 htb rate 1mbit\n"
+        )
+        with pytest.raises(PolicyError, match="out of range"):
+            compile_offload(policy, 10e6)
+
+    def test_unknown_filter_target_rejected(self):
+        policy = parse_script(
+            CHAINED + "tc filter add dev eth0 parent 1: match app=X flowid 9:9\n"
+        )
+        with pytest.raises(PolicyError, match="matches no band"):
+            compile_offload(policy, 10e6)
+
+
+class TestChainedEnforcement:
+    """The compiled tree behaves like the chained qdiscs would:
+    PRIO strictness across bands, HTB weights within the band."""
+
+    def _valve(self):
+        compiled = compile_offload(parse_script(CHAINED), 10e6)
+        return FlowValve(compiled, link_rate_bps=10e6, params=TEST_PARAMS)
+
+    def test_band0_preempts_chained_htb(self):
+        valve = self._valve()
+        rates = drive_valve(
+            valve, {"NC": constant(20e6), "KVS": constant(20e6)}, duration=20.0
+        )
+        assert rates["NC"] > 0.9 * 9.7e6
+        assert rates["KVS"] < 1e6
+
+    def test_htb_weights_inside_band(self):
+        valve = self._valve()
+        rates = drive_valve(
+            valve, {"KVS": constant(20e6), "ML": constant(20e6)}, duration=20.0
+        )
+        # 2:1 inside the band, capped by the chained HTB's own
+        # 8 Mbit ceiling (which survives compilation as a CeilCap).
+        assert rates["KVS"] == pytest.approx(2 * rates["ML"], rel=0.15)
+        assert rates["KVS"] + rates["ML"] == pytest.approx(8e6, rel=0.1)
+
+    def test_label_paths_span_both_layers(self):
+        valve = self._valve()
+        packet = PacketFactory().make(1250, FiveTuple("a", "b", 1, 2), 0.0, app="KVS")
+        valve.process(packet, 0.1)
+        assert packet.hierarchy_label[0] == "f:1"
+        assert "f:b2" in packet.hierarchy_label
+        assert packet.leaf_class == "f:210"

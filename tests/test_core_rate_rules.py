@@ -1,0 +1,172 @@
+"""Unit tests for the condition templates (rate rules)."""
+
+import pytest
+
+from repro.core.rate_rules import (
+    CeilCap,
+    FixedRate,
+    FullParentRate,
+    RuleContext,
+    sibling_share,
+)
+from repro.core.sched_tree import SchedulingParams, SchedulingTree
+from repro.tc.parser import parse_script
+
+
+def build_tree(body: str, link=12e6, **params):
+    script = (
+        "fv qdisc add dev eth0 root handle 1: fv default 0\n"
+        f"fv class add dev eth0 parent 1: classid 1:1 fv rate {link:.0f} ceil {link:.0f}\n"
+        + body
+    )
+    defaults = dict(update_interval=0.1, expire_after=1.0, link_headroom=0.0)
+    defaults.update(params)
+    return SchedulingTree.from_policy(
+        parse_script(script), link_rate_bps=link, params=SchedulingParams(**defaults)
+    )
+
+
+class TestPrimitiveRules:
+    def test_fixed_rate(self):
+        tree = build_tree("fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1\n")
+        rule = FixedRate(5e6)
+        assert rule.compute(RuleContext(tree.node("1:10"), 0.0)) == 5e6
+
+    def test_fixed_rate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRate(-1.0)
+
+    def test_full_parent(self):
+        tree = build_tree("fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1\n")
+        rule = FullParentRate()
+        assert rule.compute(RuleContext(tree.node("1:10"), 0.0)) == pytest.approx(12e6)
+
+    def test_ceil_cap(self):
+        tree = build_tree("fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1\n")
+        rule = CeilCap(FixedRate(8e6), ceil_bps=5e6)
+        assert rule.compute(RuleContext(tree.node("1:10"), 0.0)) == 5e6
+        assert "5000000" in rule.describe()
+
+    def test_ceil_cap_invalid(self):
+        with pytest.raises(ValueError):
+            CeilCap(FixedRate(1.0), ceil_bps=0.0)
+
+
+class TestWeightedShare:
+    def test_split_follows_weights(self):
+        tree = build_tree(
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv weight 3\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1\n"
+        )
+        a, b = tree.node("1:10"), tree.node("1:20")
+        assert sibling_share(a, 12e6, 0.0) == pytest.approx(9e6)
+        assert sibling_share(b, 12e6, 0.0) == pytest.approx(3e6)
+
+    def test_weights_static_regardless_of_activity(self):
+        tree = build_tree(
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1\n"
+        )
+        a = tree.node("1:10")
+        # Sibling idle: the weighted θ does not change (work
+        # conservation is borrowing's job, not the weights').
+        assert sibling_share(a, 12e6, 100.0) == pytest.approx(6e6)
+
+
+class TestPriorityResidual:
+    def _tree(self):
+        return build_tree(
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv prio 0\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv prio 1\n"
+        )
+
+    def test_prior_class_gets_full_parent(self):
+        tree = self._tree()
+        assert sibling_share(tree.node("1:10"), 12e6, 0.0) == pytest.approx(12e6)
+
+    def test_residual_subtracts_measured_peak(self):
+        tree = self._tree()
+        hi = tree.node("1:10")
+        hi.touch(0.0)
+        hi.gamma_rate = 5e6
+        hi.gamma_peak = 7e6
+        lo = tree.node("1:20")
+        # The subtraction uses the decaying peak, not the mean.
+        assert sibling_share(lo, 12e6, 0.0) == pytest.approx(5e6)
+
+    def test_idle_prior_class_costs_nothing(self):
+        tree = self._tree()
+        hi = tree.node("1:10")
+        hi.gamma_rate = 5e6
+        hi.gamma_peak = 5e6
+        hi.last_seen = -100.0  # long idle → inactive
+        lo = tree.node("1:20")
+        assert sibling_share(lo, 12e6, 0.0) == pytest.approx(12e6)
+
+    def test_residual_clamped_at_zero(self):
+        tree = self._tree()
+        hi = tree.node("1:10")
+        hi.touch(0.0)
+        hi.gamma_peak = 20e6
+        assert sibling_share(tree.node("1:20"), 12e6, 0.0) == 0.0
+
+
+class TestGuarantee:
+    def _tree(self):
+        return build_tree(
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv prio 0\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv prio 1 "
+            "guarantee 2000000 threshold 4000000\n"
+        )
+
+    def test_active_guarantee_reserved_from_prior_class(self):
+        tree = self._tree()
+        lo = tree.node("1:20")
+        lo.touch(0.0)  # active → its guarantee must be reserved
+        hi = tree.node("1:10")
+        assert sibling_share(hi, 12e6, 0.0) == pytest.approx(10e6)
+
+    def test_guarantee_floors_lower_class(self):
+        tree = self._tree()
+        hi = tree.node("1:10")
+        hi.touch(0.0)
+        hi.gamma_peak = 12e6  # prior class eats everything it can
+        lo = tree.node("1:20")
+        lo.touch(0.0)
+        assert sibling_share(lo, 12e6, 0.0) == pytest.approx(2e6)
+
+    def test_below_threshold_falls_back_to_weights(self):
+        tree = self._tree()
+        hi, lo = tree.node("1:10"), tree.node("1:20")
+        hi.touch(0.0)
+        lo.touch(0.0)
+        hi.gamma_peak = 3e6
+        # Parent rate 3 Mbit < 4 Mbit threshold: priorities suspended,
+        # equal weights → half each.
+        assert sibling_share(lo, 3e6, 0.0) == pytest.approx(1.5e6)
+        assert sibling_share(hi, 3e6, 0.0) == pytest.approx(1.5e6)
+
+    def test_idle_guaranteed_class_frees_reservation(self):
+        tree = self._tree()
+        lo = tree.node("1:20")
+        lo.last_seen = -100.0
+        hi = tree.node("1:10")
+        assert sibling_share(hi, 12e6, 0.0) == pytest.approx(12e6)
+
+
+class TestDeriveRule:
+    def test_root_is_fixed_with_headroom(self):
+        tree = build_tree(
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1\n",
+            link_headroom=0.03,
+        )
+        assert "fixed" in tree.root.rule.describe()
+        assert tree.root.theta == pytest.approx(0.97 * 12e6)
+
+    def test_child_with_ceil_gets_cap(self):
+        tree = build_tree(
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1 ceil 4000000\n"
+        )
+        node = tree.node("1:10")
+        assert "min(" in node.rule.describe()
+        assert node.theta == pytest.approx(4e6)

@@ -1,0 +1,104 @@
+"""Tests for the synthetic data-center workload generator."""
+
+import pytest
+
+from repro.host import TraceWorkload, WORKLOAD_PRESETS, WorkloadProfile
+from repro.net import PacketFactory
+from repro.sim import Simulator
+
+
+def run_workload(profile, offered=1e6, duration=20.0, seed=2):
+    sim = Simulator(seed=seed)
+    sent = []
+    workload = TraceWorkload(
+        sim, "app", profile, offered_load_bps=offered,
+        submit=lambda p: sent.append(p) or True,
+        factory=PacketFactory(), duration=duration,
+    )
+    sim.run(until=duration * 1.5)
+    return workload, sent
+
+
+class TestPresets:
+    def test_three_motivating_app_types(self):
+        assert set(WORKLOAD_PRESETS) == {"kvs", "ml", "web"}
+
+    def test_kvs_flows_small_ml_flows_huge(self):
+        assert WORKLOAD_PRESETS["kvs"].max_flow_bytes < WORKLOAD_PRESETS["ml"].min_flow_bytes
+
+
+class TestFlowSizes:
+    def test_samples_within_bounds(self):
+        sim = Simulator(seed=1)
+        workload = TraceWorkload(
+            sim, "a", WORKLOAD_PRESETS["web"], offered_load_bps=1e6,
+            submit=lambda p: True, factory=PacketFactory(), duration=0.0,
+        )
+        profile = workload.profile
+        for _ in range(2000):
+            size = workload.sample_flow_size()
+            assert profile.min_flow_bytes <= size <= profile.max_flow_bytes
+
+    def test_heavy_tail_present(self):
+        """A bounded Pareto with alpha 1.2 must produce flows far above
+        the median — the elephant/mice mix."""
+        sim = Simulator(seed=1)
+        workload = TraceWorkload(
+            sim, "a", WORKLOAD_PRESETS["web"], offered_load_bps=1e6,
+            submit=lambda p: True, factory=PacketFactory(), duration=0.0,
+        )
+        sizes = sorted(workload.sample_flow_size() for _ in range(5000))
+        median = sizes[len(sizes) // 2]
+        assert max(sizes) > 50 * median
+
+    def test_sampled_mean_matches_pareto_mean(self):
+        sim = Simulator(seed=3)
+        workload = TraceWorkload(
+            sim, "a", WORKLOAD_PRESETS["kvs"], offered_load_bps=1e6,
+            submit=lambda p: True, factory=PacketFactory(), duration=0.0,
+        )
+        sizes = [workload.sample_flow_size() for _ in range(20_000)]
+        assert sum(sizes) / len(sizes) == pytest.approx(
+            workload._pareto_mean(), rel=0.15
+        )
+
+
+class TestOfferedLoad:
+    def test_long_run_rate_matches_target(self):
+        workload, sent = run_workload(WORKLOAD_PRESETS["kvs"], offered=1e6, duration=30.0)
+        achieved = workload.bytes_offered * 8 / 30.0
+        assert achieved == pytest.approx(1e6, rel=0.25)
+
+    def test_flows_complete(self):
+        workload, _ = run_workload(WORKLOAD_PRESETS["kvs"], duration=10.0)
+        assert workload.flows_started > 0
+        assert workload.flows_completed == workload.flows_started
+
+    def test_no_new_flows_after_duration(self):
+        workload, sent = run_workload(WORKLOAD_PRESETS["kvs"], duration=5.0)
+        last_start = max(p.created_at for p in sent)
+        # Packets may trail past the cut-off (in-flight flows finish),
+        # but flow *starts* don't: the very last packets belong to
+        # flows started before 5.0 and paced at the flow rate limit.
+        profile = WORKLOAD_PRESETS["kvs"]
+        max_trail = profile.max_flow_bytes * 8 / profile.flow_rate_limit_bps
+        assert last_start <= 5.0 + max_trail
+
+    def test_packets_carry_app_and_vf(self):
+        workload, sent = run_workload(WORKLOAD_PRESETS["kvs"], duration=2.0)
+        assert all(p.app == "app" for p in sent)
+
+    def test_rejects_zero_load(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(Simulator(), "a", WORKLOAD_PRESETS["kvs"], 0.0,
+                          lambda p: True, PacketFactory())
+
+    def test_distinct_flows_generated(self):
+        workload, sent = run_workload(WORKLOAD_PRESETS["kvs"], duration=10.0)
+        flows = {p.flow for p in sent}
+        assert len(flows) == workload.flows_started
+
+    def test_deterministic_given_seed(self):
+        w1, sent1 = run_workload(WORKLOAD_PRESETS["web"], duration=5.0, seed=9)
+        w2, sent2 = run_workload(WORKLOAD_PRESETS["web"], duration=5.0, seed=9)
+        assert [p.size for p in sent1] == [p.size for p in sent2]

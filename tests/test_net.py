@@ -1,0 +1,173 @@
+"""Tests for network primitives: packets, flows, links, sinks."""
+
+import pytest
+
+from repro.net import FiveTuple, Flow, FlowTable, Link, Packet, PacketFactory, PacketSink
+from repro.net.packet import DropReason
+from repro.sim import Simulator
+from repro.units import wire_bits
+
+
+class TestPacket:
+    def test_factory_assigns_unique_sequences(self):
+        factory = PacketFactory()
+        flow = FiveTuple("a", "b", 1, 2)
+        packets = [factory.make(64, flow, 0.0) for _ in range(5)]
+        assert [p.seq for p in packets] == [0, 1, 2, 3, 4]
+        assert factory.created == 5
+
+    def test_leaf_class_empty_when_unlabelled(self):
+        factory = PacketFactory()
+        packet = factory.make(64, FiveTuple("a", "b", 1, 2), 0.0)
+        assert packet.leaf_class == ""
+
+    def test_one_way_delay_negative_until_delivered(self):
+        factory = PacketFactory()
+        packet = factory.make(64, FiveTuple("a", "b", 1, 2), 1.0)
+        assert packet.one_way_delay == -1.0
+        packet.delivered_at = 1.5
+        assert packet.one_way_delay == pytest.approx(0.5)
+
+    def test_mark_dropped(self):
+        factory = PacketFactory()
+        packet = factory.make(64, FiveTuple("a", "b", 1, 2), 0.0)
+        packet.mark_dropped(DropReason.SCHED_RED)
+        assert packet.dropped
+        assert packet.drop_reason is DropReason.SCHED_RED
+
+
+class TestFiveTuple:
+    def test_reversed(self):
+        ft = FiveTuple("1.1.1.1", "2.2.2.2", 10, 20)
+        assert ft.reversed() == FiveTuple("2.2.2.2", "1.1.1.1", 20, 10)
+
+    def test_str_contains_protocol(self):
+        assert "tcp" in str(FiveTuple("a", "b", 1, 2, 6))
+        assert "udp" in str(FiveTuple("a", "b", 1, 2, 17))
+
+    def test_hashable(self):
+        ft = FiveTuple("a", "b", 1, 2)
+        assert ft in {ft}
+
+
+class TestFlowTable:
+    def test_observe_creates_and_accounts(self):
+        table = FlowTable()
+        ft = FiveTuple("a", "b", 1, 2)
+        flow = table.observe(ft, 100, now=1.0)
+        table.observe(ft, 200, now=2.0)
+        assert flow.packets == 2
+        assert flow.bytes == 300
+        assert flow.last_seen == 2.0
+
+    def test_expire_removes_idle_flows(self):
+        table = FlowTable(idle_timeout=1.0)
+        table.observe(FiveTuple("a", "b", 1, 2), 100, now=0.0)
+        table.observe(FiveTuple("c", "d", 3, 4), 100, now=2.0)
+        evicted = table.expire(now=2.5)
+        assert evicted == 1
+        assert len(table) == 1
+
+    def test_drop_accounting(self):
+        table = FlowTable()
+        ft = FiveTuple("a", "b", 1, 2)
+        table.observe(ft, 100, now=0.0, dropped=True)
+        assert table.get(ft).drops == 1
+
+
+class TestLink:
+    def test_serialization_time_includes_overhead(self):
+        sim = Simulator()
+        link = Link(sim, 10e9)
+        factory = PacketFactory()
+        packet = factory.make(64, FiveTuple("a", "b", 1, 2), 0.0)
+        assert link.serialization_time(packet) == pytest.approx(wire_bits(64) / 10e9)
+
+    def test_back_to_back_frames_queue_on_wire(self):
+        sim = Simulator()
+        received = []
+        link = Link(sim, 1e6, receiver=received.append)
+        factory = PacketFactory()
+        flow = FiveTuple("a", "b", 1, 2)
+        p1 = factory.make(1250, flow, 0.0)  # (1250+20)*8 = 10160 bits
+        p2 = factory.make(1250, flow, 0.0)
+        link.send(p1)
+        link.send(p2)
+        sim.run()
+        assert received == [p1, p2]
+        assert p2.delivered_at == pytest.approx(2 * 10160 / 1e6)
+
+    def test_propagation_delay_added(self):
+        sim = Simulator()
+        link = Link(sim, 1e9, propagation_delay=0.5)
+        factory = PacketFactory()
+        packet = factory.make(100, FiveTuple("a", "b", 1, 2), 0.0)
+        finish = link.send(packet)
+        sim.run()
+        assert packet.delivered_at == pytest.approx(finish + 0.5)
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim, 1e9)
+        factory = PacketFactory()
+        for _ in range(3):
+            link.send(factory.make(100, FiveTuple("a", "b", 1, 2), 0.0))
+        assert link.frames_sent == 3
+        assert link.bytes_sent == 300
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), 0.0)
+
+
+class TestPacketSink:
+    def _deliver(self, sink, sim, app, size=100, at=1.0):
+        factory = getattr(self, "_factory", None)
+        if factory is None:
+            factory = self._factory = PacketFactory()
+        packet = factory.make(size, FiveTuple("a", "b", 1, 2), 0.0, app=app)
+        sim.schedule_at(at, sink.receive, packet)
+
+    def test_per_app_accounting(self):
+        sim = Simulator()
+        sink = PacketSink(sim)
+        self._deliver(sink, sim, "A", size=100, at=1.0)
+        self._deliver(sink, sim, "B", size=200, at=1.5)
+        sim.run()
+        assert sink.packets["A"] == 1
+        assert sink.bytes["B"] == 200
+        assert sink.total_packets == 2
+
+    def test_delays_tracked_per_app(self):
+        sim = Simulator()
+        sink = PacketSink(sim)
+        self._deliver(sink, sim, "A", at=1.0)
+        self._deliver(sink, sim, "B", at=2.0)
+        sim.run()
+        assert len(sink.delays_by_app["A"]) == 1
+        assert sink.delays_by_app["B"][0] == pytest.approx(2.0)
+
+    def test_delay_recording_respects_start(self):
+        sim = Simulator()
+        sink = PacketSink(sim, delay_start=2.0)
+        self._deliver(sink, sim, "A", at=1.0)
+        self._deliver(sink, sim, "A", at=3.0)
+        sim.run()
+        assert len(sink.delays) == 1
+        assert sink.delays[0] == pytest.approx(3.0)
+
+    def test_delivery_callback(self):
+        sim = Simulator()
+        seen = []
+        sink = PacketSink(sim, on_delivery=seen.append)
+        self._deliver(sink, sim, "A", at=1.0)
+        sim.run()
+        assert len(seen) == 1
+
+    def test_throughput_helpers(self):
+        sim = Simulator()
+        sink = PacketSink(sim)
+        self._deliver(sink, sim, "A", size=1250, at=1.0)
+        sim.run()
+        assert sink.throughput_bps("A", 10.0) == pytest.approx(1000.0)
+        assert sink.total_throughput_bps(10.0) == pytest.approx(1000.0)

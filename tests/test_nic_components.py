@@ -1,0 +1,171 @@
+"""Tests for the SmartNIC model's components."""
+
+import pytest
+
+from repro.errors import BufferExhausted, ConfigError
+from repro.net import FiveTuple, PacketFactory
+from repro.net.packet import DropReason
+from repro.nic import BufferPool, CycleCosts, MemoryHierarchy, NicConfig, ReorderBuffer, RxQueue, TxRing
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def factory():
+    return PacketFactory()
+
+
+def make_packet(factory, seq_hint=0):
+    return factory.make(64, FiveTuple("a", "b", 1, 2), 0.0)
+
+
+class TestNicConfig:
+    def test_defaults_valid(self):
+        cfg = NicConfig()
+        assert cfg.n_workers == 50
+        assert cfg.freq_hz == 1.2e9
+
+    def test_seconds_conversion(self):
+        cfg = NicConfig(freq_hz=1e9)
+        assert cfg.seconds(1000) == pytest.approx(1e-6)
+
+    def test_worker_capacity(self):
+        cfg = NicConfig(freq_hz=1.2e9, n_workers=50)
+        assert cfg.worker_capacity_pps(3000) == pytest.approx(20e6)
+
+    def test_scaled_preserves_ratios(self):
+        cfg = NicConfig()
+        scaled = cfg.scaled(100.0)
+        assert scaled.freq_hz == pytest.approx(cfg.freq_hz / 100)
+        assert scaled.line_rate_bps == pytest.approx(cfg.line_rate_bps / 100)
+        assert scaled.rx_dma_latency == pytest.approx(cfg.rx_dma_latency * 100)
+        # Depth × serialisation-time products are preserved.
+        assert scaled.tx_ring_depth == max(16, cfg.tx_ring_depth // 100)
+
+    def test_bad_lock_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            NicConfig(lock_mode="optimistic")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            NicConfig(costs=CycleCosts(meter=-1))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            NicConfig().scaled(0.0)
+
+
+class TestMemoryHierarchy:
+    def test_standard_regions_present(self):
+        memory = MemoryHierarchy()
+        for name in ("LMEM", "CLS", "CTM", "IMEM", "EMEM"):
+            assert memory.region(name).name == name
+
+    def test_latency_ordering(self):
+        memory = MemoryHierarchy()
+        assert (
+            memory.region("LMEM").read_cycles
+            < memory.region("CLS").read_cycles
+            < memory.region("IMEM").read_cycles
+            < memory.region("EMEM").read_cycles
+        )
+
+    def test_latency_hiding(self):
+        memory = MemoryHierarchy()
+        assert memory.hidden(160, threads_per_me=4) == 40
+        assert memory.hidden(160, threads_per_me=1) == 160
+
+
+class TestRings:
+    def test_rx_queue_tail_drop(self, factory):
+        sim = Simulator()
+        queue = RxQueue(sim, vf_index=0, depth=2)
+        assert queue.offer(make_packet(factory))
+        assert queue.offer(make_packet(factory))
+        overflow = make_packet(factory)
+        assert not queue.offer(overflow)
+        assert overflow.drop_reason is DropReason.QUEUE_FULL
+        assert queue.tail_drops == 1
+
+    def test_tx_ring_high_water_mark(self, factory):
+        sim = Simulator()
+        ring = TxRing(sim, depth=10)
+        for _ in range(4):
+            ring.offer(make_packet(factory))
+        ring.try_get()
+        assert ring.max_occupancy == 4
+        assert len(ring) == 3
+
+
+class TestReorderBuffer:
+    def test_in_order_release(self, factory):
+        released = []
+        reorder = ReorderBuffer(released.append)
+        t0, t1, t2 = (reorder.take_ticket() for _ in range(3))
+        p0, p1, p2 = (make_packet(factory) for _ in range(3))
+        reorder.complete(t2, p2)   # finishes first but must wait
+        assert released == []
+        reorder.complete(t0, p0)
+        assert released == [p0]
+        reorder.complete(t1, p1)
+        assert released == [p0, p1, p2]
+
+    def test_drop_frees_slot(self, factory):
+        released = []
+        reorder = ReorderBuffer(released.append)
+        t0 = reorder.take_ticket()
+        t1 = reorder.take_ticket()
+        p1 = make_packet(factory)
+        reorder.complete(t1, p1)
+        reorder.complete(t0, None)  # dropped packet
+        assert released == [p1]
+
+    def test_double_complete_rejected(self, factory):
+        reorder = ReorderBuffer(lambda p: None)
+        ticket = reorder.take_ticket()
+        reorder.complete(ticket, None)
+        with pytest.raises(ValueError):
+            reorder.complete(ticket, None)
+
+    def test_in_flight_accounting(self):
+        reorder = ReorderBuffer(lambda p: None)
+        t0 = reorder.take_ticket()
+        reorder.take_ticket()
+        assert reorder.in_flight == 2
+        reorder.complete(t0, None)
+        assert reorder.in_flight == 1
+
+
+class TestBufferPool:
+    def test_allocate_release_cycle(self):
+        sim = Simulator()
+        pool = BufferPool(sim, count=2, recycle_delay=0.0)
+        assert pool.try_allocate()
+        assert pool.try_allocate()
+        assert not pool.try_allocate()
+        assert pool.exhaustion_drops == 1
+        pool.release()
+        assert pool.free == 1
+
+    def test_recycle_delay(self):
+        sim = Simulator()
+        pool = BufferPool(sim, count=1, recycle_delay=0.5)
+        pool.try_allocate()
+        pool.release()
+        assert pool.free == 0  # still with the manager core
+        sim.run()
+        assert pool.free == 1
+
+    def test_min_free_watermark(self):
+        sim = Simulator()
+        pool = BufferPool(sim, count=3, recycle_delay=0.0)
+        pool.try_allocate()
+        pool.try_allocate()
+        assert pool.min_free == 1
+
+    def test_double_release_rejected(self):
+        sim = Simulator()
+        pool = BufferPool(sim, count=1, recycle_delay=0.0)
+        pool.try_allocate()
+        pool.release()
+        with pytest.raises(BufferExhausted):
+            pool.release()

@@ -1,0 +1,146 @@
+"""Integration tests for the assembled NIC pipeline."""
+
+import pytest
+
+from repro.core import FlowValveFrontend
+from repro.core.sched_tree import SchedulingParams
+from repro.net import FiveTuple, PacketFactory, PacketSink
+from repro.net.packet import DropReason
+from repro.nic import ForwardAllApp, NicConfig, NicPipeline
+from repro.sim import Simulator
+from repro.tc.parser import parse_script
+
+FAIR_SCRIPT = """
+fv qdisc add dev eth0 root handle 1: fv default 0
+fv class add dev eth0 parent 1: classid 1:1 fv rate 40gbit ceil 40gbit
+fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1 borrow 1:20
+fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1 borrow 1:10
+fv filter add dev eth0 parent 1: match app=A flowid 1:10
+fv filter add dev eth0 parent 1: match app=B flowid 1:20
+"""
+
+
+def build_flowvalve_nic(sim, cfg=None, link=40e9):
+    frontend = FlowValveFrontend.from_script(
+        FAIR_SCRIPT, link_rate_bps=link,
+        params=SchedulingParams(update_interval=0.0005, expire_after=0.005),
+    )
+    sink = PacketSink(sim, rate_window=0.001, record_delays=True)
+    nic = NicPipeline.with_flowvalve(
+        sim, cfg if cfg is not None else NicConfig(), frontend, receiver=sink.receive
+    )
+    return nic, sink, frontend
+
+
+def blast(sim, nic, app, pps, duration, size=64, vf=0):
+    factory = PacketFactory()
+    flow = FiveTuple(f"10.0.0.{vf}", "10.0.1.1", 1, 2)
+
+    def gen():
+        while sim.now < duration:
+            nic.submit(factory.make(size, flow, sim.now, app=app, vf_index=vf))
+            yield 1.0 / pps
+
+    sim.process(gen())
+
+
+class TestPassThrough:
+    def test_forwards_everything_under_capacity(self):
+        sim = Simulator(seed=1)
+        sink = PacketSink(sim, record_delays=True)
+        nic = NicPipeline(sim, NicConfig(), ForwardAllApp(), receiver=sink.receive)
+        blast(sim, nic, "A", pps=1e6, duration=0.002)
+        sim.run(until=0.003)
+        assert nic.dropped == 0
+        assert sink.total_packets == nic.submitted
+
+    def test_base_latency_is_microseconds(self):
+        sim = Simulator(seed=1)
+        sink = PacketSink(sim, record_delays=True)
+        nic = NicPipeline(sim, NicConfig(), ForwardAllApp(), receiver=sink.receive)
+        blast(sim, nic, "A", pps=1e5, duration=0.002)
+        sim.run(until=0.003)
+        mean = sum(sink.delays) / len(sink.delays)
+        # rx_dma(8) + worker(~2) + tx_fixed(4) + wire ≈ 15 us.
+        assert 5e-6 < mean < 50e-6
+
+    def test_capacity_bounded_by_workers(self):
+        cfg = NicConfig()
+        sim = Simulator(seed=1)
+        sink = PacketSink(sim, record_delays=False)
+        nic = NicPipeline(sim, cfg, ForwardAllApp(), receiver=sink.receive)
+        blast(sim, nic, "A", pps=80e6, duration=0.001)  # way over capacity
+        sim.run(until=0.002)
+        capacity = cfg.worker_capacity_pps(cfg.costs.fixed_overhead)
+        achieved = sink.total_packets / 0.002
+        assert achieved < 1.1 * capacity
+
+
+class TestFlowValveOnNic:
+    def test_line_rate_at_large_packets(self):
+        sim = Simulator(seed=1)
+        nic, sink, _ = build_flowvalve_nic(sim)
+        blast(sim, nic, "A", pps=2.5e6, duration=0.003, size=1518, vf=0)
+        blast(sim, nic, "B", pps=2.5e6, duration=0.003, size=1518, vf=1)
+        # Measure the steady window after the buckets/pipeline warm up.
+        snapshot = {}
+        sim.schedule_at(0.001, lambda: snapshot.update(bytes=sink.total_bytes))
+        sim.run(until=0.003)
+        achieved_bps = (sink.total_bytes - snapshot["bytes"]) * 8 / 0.002
+        assert achieved_bps > 0.9 * 40e9
+
+    def test_processing_bound_at_64b(self):
+        sim = Simulator(seed=1)
+        nic, sink, _ = build_flowvalve_nic(sim)
+        blast(sim, nic, "A", pps=20e6, duration=0.002, size=64, vf=0)
+        blast(sim, nic, "B", pps=20e6, duration=0.002, size=64, vf=1)
+        sim.run(until=0.0025)
+        mpps = sink.total_packets / 0.0025 / 1e6
+        # The calibrated NP bound (±15%), far below the 59.5 Mpps wire.
+        assert 16.0 < mpps < 23.0
+
+    def test_scheduler_drops_marked(self):
+        sim = Simulator(seed=1)
+        nic, sink, frontend = build_flowvalve_nic(sim, link=1e9)  # tiny policy on fast NIC
+        blast(sim, nic, "A", pps=2e6, duration=0.002, size=1518, vf=0)
+        sim.run(until=0.003)
+        assert nic.drops_by_reason[DropReason.SCHED_RED] > 0
+
+    def test_unclassified_dropped(self):
+        sim = Simulator(seed=1)
+        nic, sink, _ = build_flowvalve_nic(sim)
+        blast(sim, nic, "UNKNOWN", pps=1e6, duration=0.001)
+        sim.run(until=0.002)
+        assert sink.total_packets == 0
+        assert nic.drops_by_reason[DropReason.UNCLASSIFIED] == nic.submitted
+
+    def test_flow_cache_hits_dominate(self):
+        sim = Simulator(seed=1)
+        nic, sink, frontend = build_flowvalve_nic(sim)
+        blast(sim, nic, "A", pps=1e6, duration=0.002)
+        sim.run(until=0.003)
+        assert frontend.labeler.cache_hit_ratio > 0.99
+
+    def test_stats_summary_mentions_counts(self):
+        sim = Simulator(seed=1)
+        nic, _, _ = build_flowvalve_nic(sim)
+        blast(sim, nic, "A", pps=1e5, duration=0.001)
+        sim.run(until=0.002)
+        text = nic.stats_summary()
+        assert "submitted=" in text and "forwarded=" in text
+
+
+class TestReorderedEgress:
+    def test_delivery_order_matches_arrival_order(self):
+        sim = Simulator(seed=1)
+        order = []
+        sink = PacketSink(sim, record_delays=False, on_delivery=lambda p: order.append(p.seq))
+        frontend = FlowValveFrontend.from_script(
+            FAIR_SCRIPT, link_rate_bps=40e9,
+            params=SchedulingParams(update_interval=0.0005, expire_after=0.005),
+        )
+        nic = NicPipeline.with_flowvalve(sim, NicConfig(), frontend, receiver=sink.receive)
+        blast(sim, nic, "A", pps=2e6, duration=0.001, size=256)
+        sim.run(until=0.002)
+        assert order == sorted(order)
+        assert len(order) > 100

@@ -1,0 +1,66 @@
+"""Tests for the structured tracing sink."""
+
+from repro.sim import NullTracer, Simulator, Tracer
+
+
+class TestTracer:
+    def test_records_stored_in_order(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "nic.tx", "send", size=64)
+        tracer.emit(2.0, "nic.tx", "drop", reason="red")
+        assert [r.kind for r in tracer.records] == ["send", "drop"]
+        assert tracer.records[0].data == {"size": 64}
+
+    def test_select_filters_by_source_and_kind(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x")
+        tracer.emit(2.0, "b", "x")
+        tracer.emit(3.0, "a", "y")
+        assert len(list(tracer.select(source="a"))) == 2
+        assert len(list(tracer.select(kind="x"))) == 2
+        assert len(list(tracer.select(source="a", kind="y"))) == 1
+
+    def test_predicate_drops_unwanted(self):
+        tracer = Tracer(predicate=lambda source, kind: kind == "drop")
+        tracer.emit(1.0, "nic", "send")
+        tracer.emit(2.0, "nic", "drop")
+        assert len(tracer.records) == 1
+        assert not tracer.wants("nic", "send")
+
+    def test_limit_keeps_newest(self):
+        tracer = Tracer(limit=3)
+        for i in range(10):
+            tracer.emit(float(i), "s", "k", i=i)
+        assert len(tracer.records) == 3
+        assert tracer.records[-1].data["i"] == 9
+        assert tracer.records[0].data["i"] == 7
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "s", "k")
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_enabled_flag(self):
+        assert Tracer().enabled
+        assert not NullTracer().enabled
+
+
+class TestNullTracer:
+    def test_discards_everything(self):
+        tracer = NullTracer()
+        tracer.emit(1.0, "s", "k", payload="x")
+        assert tracer.records == []
+        assert not tracer.wants("s", "k")
+
+
+class TestSimulatorIntegration:
+    def test_default_tracer_is_null(self):
+        assert isinstance(Simulator().tracer, NullTracer)
+
+    def test_custom_tracer_attached(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        sim.schedule(1.0, lambda: sim.tracer.emit(sim.now, "test", "tick"))
+        sim.run()
+        assert tracer.records[0].time == 1.0

@@ -1,0 +1,109 @@
+"""Tests for filter matching and the classifier."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net import FiveTuple, PacketFactory
+from repro.tc import Classifier, FilterSpec, MatchSpec
+
+
+@pytest.fixture
+def factory():
+    return PacketFactory()
+
+
+def packet(factory, src="10.0.0.1", dst="10.0.1.1", sport=1234, dport=80, proto=6,
+           vf=0, app=""):
+    return factory.make(1500, FiveTuple(src, dst, sport, dport, proto), 0.0,
+                        app=app, vf_index=vf)
+
+
+class TestMatchSpec:
+    def test_wildcard_matches_everything(self, factory):
+        assert MatchSpec.compile({}).matches(packet(factory))
+
+    def test_src_match(self, factory):
+        spec = MatchSpec.compile({"src": "10.0.0.1"})
+        assert spec.matches(packet(factory, src="10.0.0.1"))
+        assert not spec.matches(packet(factory, src="10.0.0.2"))
+
+    def test_dport_exact(self, factory):
+        spec = MatchSpec.compile({"dport": "80"})
+        assert spec.matches(packet(factory, dport=80))
+        assert not spec.matches(packet(factory, dport=81))
+
+    def test_dport_range(self, factory):
+        spec = MatchSpec.compile({"dport": "8000-8999"})
+        assert spec.matches(packet(factory, dport=8500))
+        assert not spec.matches(packet(factory, dport=9000))
+
+    def test_proto_by_name(self, factory):
+        spec = MatchSpec.compile({"proto": "udp"})
+        assert spec.matches(packet(factory, proto=17))
+        assert not spec.matches(packet(factory, proto=6))
+
+    def test_proto_by_number(self, factory):
+        spec = MatchSpec.compile({"proto": "6"})
+        assert spec.matches(packet(factory, proto=6))
+
+    def test_vf_match(self, factory):
+        spec = MatchSpec.compile({"vf": "2"})
+        assert spec.matches(packet(factory, vf=2))
+        assert not spec.matches(packet(factory, vf=1))
+
+    def test_app_match(self, factory):
+        spec = MatchSpec.compile({"app": "KVS"})
+        assert spec.matches(packet(factory, app="KVS"))
+        assert not spec.matches(packet(factory, app="ML"))
+
+    def test_conjunction(self, factory):
+        spec = MatchSpec.compile({"src": "10.0.0.1", "dport": "80"})
+        assert spec.matches(packet(factory, src="10.0.0.1", dport=80))
+        assert not spec.matches(packet(factory, src="10.0.0.1", dport=81))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            MatchSpec.compile({"colour": "blue"})
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValidationError):
+            MatchSpec.compile({"dport": "99999"})
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValidationError):
+            MatchSpec.compile({"sport": "90-80"})
+
+
+class TestClassifier:
+    def test_first_match_wins_within_prio(self, factory):
+        classifier = Classifier([
+            FilterSpec(flowid="1:10", match={"src": "10.0.0.1"}, prio=1),
+            FilterSpec(flowid="1:20", match={}, prio=1),
+        ])
+        assert classifier.classify(packet(factory, src="10.0.0.1")) == "1:10"
+        assert classifier.classify(packet(factory, src="10.0.0.9")) == "1:20"
+
+    def test_lower_prio_number_consulted_first(self, factory):
+        classifier = Classifier([
+            FilterSpec(flowid="1:20", match={}, prio=5),
+            FilterSpec(flowid="1:10", match={}, prio=1),
+        ])
+        assert classifier.classify(packet(factory)) == "1:10"
+
+    def test_no_match_returns_none(self, factory):
+        classifier = Classifier([FilterSpec(flowid="1:10", match={"app": "X"}, prio=1)])
+        assert classifier.classify(packet(factory, app="Y")) is None
+        assert classifier.misses == 1
+
+    def test_lookup_statistics(self, factory):
+        classifier = Classifier([FilterSpec(flowid="1:10", match={}, prio=1)])
+        for _ in range(5):
+            classifier.classify(packet(factory))
+        assert classifier.lookups == 5
+        assert classifier.misses == 0
+
+    def test_incremental_add(self, factory):
+        classifier = Classifier()
+        assert classifier.classify(packet(factory)) is None
+        classifier.add(FilterSpec(flowid="1:10", match={}, prio=1))
+        assert classifier.classify(packet(factory)) == "1:10"

@@ -1,0 +1,164 @@
+"""Tests for the fv/tc command parser."""
+
+import pytest
+
+from repro.errors import ParseError, PolicyError
+from repro.tc import parse_script
+from repro.tc.parser import CommandParser
+
+
+class TestQdiscCommands:
+    def test_root_htb_qdisc(self):
+        policy = parse_script("fv qdisc add dev eth0 root handle 1: htb default 30")
+        qdisc = policy.root_qdisc()
+        assert qdisc.kind == "htb"
+        assert qdisc.handle == "1:"
+        assert qdisc.default == 0x30
+
+    def test_prio_qdisc_bands(self):
+        policy = parse_script("fv qdisc add dev eth0 root handle 1: prio bands 4")
+        assert policy.root_qdisc().bands == 4
+
+    def test_tc_prefix_accepted(self):
+        policy = parse_script("tc qdisc add dev eth0 root handle 1: htb")
+        assert policy.root_qdisc().kind == "htb"
+
+    def test_bare_command_accepted(self):
+        policy = parse_script("qdisc add dev eth0 root handle 1: fv")
+        assert policy.root_qdisc().kind == "fv"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_script("fv qdisc add dev eth0 root handle 1: cbq")
+
+    def test_missing_handle_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("fv qdisc add dev eth0 root htb")
+
+    def test_duplicate_handle_rejected(self):
+        script = (
+            "fv qdisc add dev eth0 root handle 1: htb\n"
+            "fv qdisc add dev eth0 parent 1:1 handle 1: htb\n"
+        )
+        with pytest.raises(PolicyError):
+            parse_script(script)
+
+
+class TestClassCommands:
+    def test_class_with_rate_and_ceil(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: htb\n"
+            "fv class add dev eth0 parent 1: classid 1:1 htb rate 10gbit ceil 10gbit\n"
+        )
+        spec = policy.class_map()["1:1"]
+        assert spec.rate == 10e9
+        assert spec.ceil == 10e9
+        assert spec.parent == "1:"
+
+    def test_fv_extensions(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: fv\n"
+            "fv class add dev eth0 parent 1: classid 1:1 fv rate 10gbit\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv rate 2gbit "
+            "prio 2 weight 1.5 guarantee 2gbit threshold 4gbit borrow 1:30,1:21\n"
+        )
+        spec = policy.class_map()["1:20"]
+        assert spec.prio == 2
+        assert spec.weight == 1.5
+        assert spec.guarantee == 2e9
+        assert spec.guarantee_threshold == 4e9
+        assert spec.borrow == ("1:30", "1:21")
+
+    def test_guarantee_threshold_defaults_to_double(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: fv\n"
+            "fv class add dev eth0 parent 1: classid 1:1 fv rate 10gbit\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv guarantee 2gbit\n"
+        )
+        assert policy.class_map()["1:20"].guarantee_threshold == 4e9
+
+    def test_quantum_and_burst_accepted_for_tc_parity(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: htb\n"
+            "fv class add dev eth0 parent 1: classid 1:1 htb rate 1gbit quantum 1514 burst 32k\n"
+        )
+        assert policy.class_map()["1:1"].rate == 1e9
+
+    def test_unknown_class_option_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                "fv qdisc add dev eth0 root handle 1: htb\n"
+                "fv class add dev eth0 parent 1: classid 1:1 htb frobnicate 5\n"
+            )
+
+    def test_line_continuation(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: fv\n"
+            "fv class add dev eth0 parent 1: classid 1:1 \\\n"
+            "    fv rate 5gbit\n"
+        )
+        assert policy.class_map()["1:1"].rate == 5e9
+
+
+class TestFilterCommands:
+    def test_compact_match_form(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: fv\n"
+            "fv filter add dev eth0 parent 1: prio 1 match app=NC flowid 1:10\n"
+        )
+        filt = policy.filters[0]
+        assert filt.match == {"app": "NC"}
+        assert filt.flowid == "1:10"
+        assert filt.prio == 1
+
+    def test_u32_match_form(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: fv\n"
+            "fv filter add dev eth0 protocol ip parent 1: prio 2 u32 "
+            "match ip src 10.0.0.1 match ip dport 80 0xffff flowid 1:10\n"
+        )
+        filt = policy.filters[0]
+        assert filt.match == {"src": "10.0.0.1", "dport": "80"}
+        assert filt.prio == 2
+
+    def test_multiple_compact_matches(self):
+        policy = parse_script(
+            "fv qdisc add dev eth0 root handle 1: fv\n"
+            "fv filter add dev eth0 parent 1: prio 1 match vf=2 match proto=tcp flowid 1:10\n"
+        )
+        assert policy.filters[0].match == {"vf": "2", "proto": "tcp"}
+
+    def test_missing_flowid_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                "fv qdisc add dev eth0 root handle 1: fv\n"
+                "fv filter add dev eth0 parent 1: prio 1 match app=NC\n"
+            )
+
+    def test_unsupported_u32_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                "fv qdisc add dev eth0 root handle 1: fv\n"
+                "fv filter add dev eth0 parent 1: u32 match ip tos 4 flowid 1:10\n"
+            )
+
+
+class TestScriptHandling:
+    def test_comments_and_blanks_ignored(self):
+        policy = parse_script(
+            "# motivation example\n"
+            "\n"
+            "fv qdisc add dev eth0 root handle 1: htb\n"
+            "   \n"
+        )
+        assert len(policy.qdiscs) == 1
+
+    def test_parser_accumulates_state(self):
+        parser = CommandParser()
+        parser.parse("fv qdisc add dev eth0 root handle 1: fv")
+        parser.parse("fv class add dev eth0 parent 1: classid 1:1 fv rate 1gbit")
+        assert len(parser.policy.classes) == 1
+
+    def test_only_add_supported(self):
+        with pytest.raises(ParseError):
+            parse_script("fv qdisc del dev eth0 root handle 1: htb")

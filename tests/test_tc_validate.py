@@ -1,0 +1,137 @@
+"""Tests for policy validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.tc import (
+    ClassSpec,
+    FilterSpec,
+    PolicyConfig,
+    QdiscSpec,
+    parse_classid,
+    validate_policy,
+)
+from repro.errors import PolicyError
+
+
+def minimal_policy() -> PolicyConfig:
+    policy = PolicyConfig()
+    policy.add_qdisc(QdiscSpec(kind="fv", handle="1:"))
+    policy.add_class(ClassSpec(classid="1:1", parent="1:", rate=10e9, ceil=10e9))
+    policy.add_class(ClassSpec(classid="1:10", parent="1:1", rate=5e9))
+    policy.add_filter(FilterSpec(flowid="1:10", match={"app": "A"}))
+    return policy
+
+
+class TestParseClassid:
+    def test_major_minor(self):
+        assert parse_classid("1:10") == (1, 16)  # hex, tc convention
+
+    def test_bare_handle(self):
+        assert parse_classid("1:") == (1, 0)
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_classid("110")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_classid("x:y:z")
+
+
+class TestValidation:
+    def test_valid_policy_passes(self):
+        validate_policy(minimal_policy())
+
+    def test_missing_root_qdisc(self):
+        policy = PolicyConfig()
+        policy.add_class(ClassSpec(classid="1:1", parent="1:", rate=1e9))
+        with pytest.raises(ValidationError, match="root qdisc"):
+            validate_policy(policy)
+
+    def test_orphan_class_parent(self):
+        policy = minimal_policy()
+        policy.add_class(ClassSpec(classid="1:99", parent="1:77", rate=1e9))
+        with pytest.raises(ValidationError, match="neither a class nor a qdisc"):
+            validate_policy(policy)
+
+    def test_rate_above_ceil_rejected(self):
+        policy = PolicyConfig()
+        policy.add_qdisc(QdiscSpec(kind="fv", handle="1:"))
+        policy.add_class(ClassSpec(classid="1:1", parent="1:", rate=10e9, ceil=5e9))
+        with pytest.raises(ValidationError, match="exceeds ceil"):
+            validate_policy(policy)
+
+    def test_child_rate_above_parent_ceil_rejected(self):
+        policy = minimal_policy()
+        policy.add_class(ClassSpec(classid="1:20", parent="1:1", rate=20e9))
+        with pytest.raises(ValidationError, match="exceeds parent ceil"):
+            validate_policy(policy)
+
+    def test_filter_to_missing_class_rejected(self):
+        policy = minimal_policy()
+        policy.add_filter(FilterSpec(flowid="1:77", match={}))
+        with pytest.raises(ValidationError, match="does not exist"):
+            validate_policy(policy)
+
+    def test_filter_to_interior_class_rejected(self):
+        policy = minimal_policy()
+        policy.add_filter(FilterSpec(flowid="1:1", match={}))
+        with pytest.raises(ValidationError, match="not a leaf"):
+            validate_policy(policy)
+
+    def test_self_borrow_rejected(self):
+        policy = minimal_policy()
+        policy.add_class(ClassSpec(classid="1:20", parent="1:1", rate=1e9, borrow=("1:20",)))
+        with pytest.raises(ValidationError, match="borrow from itself"):
+            validate_policy(policy)
+
+    def test_borrow_unknown_class_rejected(self):
+        policy = minimal_policy()
+        policy.add_class(ClassSpec(classid="1:20", parent="1:1", rate=1e9, borrow=("9:99",)))
+        with pytest.raises(ValidationError, match="does not exist"):
+            validate_policy(policy)
+
+    def test_bad_match_field_reported(self):
+        policy = minimal_policy()
+        policy.add_filter(FilterSpec(flowid="1:10", match={"nope": "x"}))
+        with pytest.raises(ValidationError, match="unknown match field"):
+            validate_policy(policy)
+
+    def test_default_class_must_exist(self):
+        policy = PolicyConfig()
+        policy.add_qdisc(QdiscSpec(kind="htb", handle="1:", default=0x30))
+        policy.add_class(ClassSpec(classid="1:1", parent="1:", rate=1e9))
+        with pytest.raises(ValidationError, match="default class"):
+            validate_policy(policy)
+
+    def test_default_class_resolves(self):
+        policy = PolicyConfig()
+        policy.add_qdisc(QdiscSpec(kind="htb", handle="1:", default=0x10))
+        policy.add_class(ClassSpec(classid="1:1", parent="1:", rate=1e9))
+        policy.add_class(ClassSpec(classid="1:10", parent="1:1", rate=1e9))
+        validate_policy(policy)
+
+    def test_multiple_problems_all_reported(self):
+        policy = minimal_policy()
+        policy.add_filter(FilterSpec(flowid="1:77", match={}))
+        policy.add_class(ClassSpec(classid="1:99", parent="1:77", rate=1e9))
+        with pytest.raises(ValidationError) as excinfo:
+            validate_policy(policy)
+        message = str(excinfo.value)
+        assert "1:77" in message and "1:99" in message
+
+
+class TestPolicyConfigHelpers:
+    def test_children_of(self):
+        policy = minimal_policy()
+        assert [c.classid for c in policy.children_of("1:1")] == ["1:10"]
+
+    def test_leaves(self):
+        policy = minimal_policy()
+        assert [c.classid for c in policy.leaves()] == ["1:10"]
+
+    def test_duplicate_class_rejected(self):
+        policy = minimal_policy()
+        with pytest.raises(PolicyError):
+            policy.add_class(ClassSpec(classid="1:10", parent="1:1", rate=1e9))
