@@ -1,0 +1,142 @@
+"""E-PERF — hot-path microbenchmark of the DES kernel + NIC pipeline.
+
+Runs the Fig. 11(a) motivation workload (scale=200) for 20 simulated
+seconds and records kernel events/sec and end-to-end packets/sec via
+:mod:`repro.stats.perf`, persisting the numbers to
+``BENCH_hotpath.json`` next to the other bench artifacts.
+
+Two kinds of guards:
+
+* **Deterministic** (hard asserts): the exact event and packet counts
+  of this seeded run, and the events-per-packet ratio vs. the v0 seed
+  code. These reproduce bit-identically on any machine — if they move,
+  kernel or pipeline semantics changed (the golden-trace suite will
+  usually fail first).
+* **Throughput** (reported, sanity-bounded): pkt/s and the speedup
+  over the seed baseline measured interleaved on the same host. Wall
+  clock is machine-dependent, so the hard floor is deliberately loose;
+  the headline ratio lands in the JSON and the bench output.
+"""
+
+import json
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.core import FlowValveFrontend
+from repro.experiments.base import ScaledSetup, _scale_demand
+from repro.experiments.policies import motivation_policy
+from repro.experiments.workloads import motivation_demands
+from repro.host import FixedRateSender
+from repro.net import PacketFactory, PacketSink
+from repro.nic import NicPipeline
+from repro.sim import Simulator
+from repro.stats.perf import measure_run, write_json
+
+#: v0 seed-code reference on this workload (commit c37e241, measured
+#: interleaved with the optimized build on the same host): the seed
+#: executed 2,887,785 kernel events for the same 179,154 packets
+#: (16.1 ev/pkt) in ~9.4-11.8 s wall (~17.5k pkt/s).
+SEED_EVENTS = 2_887_785
+SEED_PACKETS = 179_154
+SEED_PKT_PER_SEC = 17_500.0
+
+#: Expected counts for the optimized build — deterministic for seed 7.
+EXPECTED_EVENTS = 1_789_426
+EXPECTED_PACKETS = 179_154
+
+DURATION = 20.0
+
+
+def _build():
+    setup = ScaledSetup(nominal_link_bps=10e9, scale=200.0, wire_bps=10e9)
+    policy = motivation_policy(setup.link_bps)
+    demands = motivation_demands(setup.nominal_link_bps)
+    sim = Simulator(seed=setup.seed)
+    frontend = FlowValveFrontend(
+        policy, link_rate_bps=setup.link_bps, params=setup.sched_params()
+    )
+    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
+    nic = NicPipeline.with_flowvalve(
+        sim, setup.nic_config(), frontend, receiver=sink.receive
+    )
+    factory = PacketFactory()
+    for index, (app, demand) in enumerate(sorted(demands.items())):
+        FixedRateSender(
+            sim,
+            app,
+            factory,
+            nic.submit,
+            rate_bps=setup.sender_rate(),
+            packet_size=1500,
+            demand=_scale_demand(demand, setup.scale),
+            vf_index=index,
+            jitter=0.1,
+            rng=sim.random.stream(app),
+        )
+    return sim, nic
+
+
+def test_hotpath_events_and_packets_per_sec(benchmark, emit):
+    sim, nic = _build()
+    result = run_once(
+        benchmark,
+        lambda: measure_run(
+            sim,
+            lambda: sim.run(until=DURATION),
+            lambda: nic.submitted,
+            label="fig11a-scale200-20s",
+        ),
+    )
+
+    # Determinism guards: exact counts for seed 7, any machine.
+    assert result.events == EXPECTED_EVENTS
+    assert result.packets == EXPECTED_PACKETS
+
+    speedup_pkt = result.packets_per_sec / SEED_PKT_PER_SEC
+    events_ratio = SEED_EVENTS / result.events
+    out = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+    write_json(
+        os.path.normpath(out),
+        result,
+        extra={
+            "seed_events": SEED_EVENTS,
+            "seed_packets": SEED_PACKETS,
+            "seed_pkt_per_sec_ref": SEED_PKT_PER_SEC,
+            "speedup_pkt_per_sec_vs_seed": speedup_pkt,
+            "kernel_events_cut_vs_seed": events_ratio,
+        },
+    )
+    emit(
+        result.summary()
+        + f"\nvs seed: {speedup_pkt:.2f}x pkt/s (ref {SEED_PKT_PER_SEC:,.0f}), "
+        f"{events_ratio:.2f}x fewer kernel events "
+        f"({SEED_EVENTS} -> {result.events})"
+    )
+
+    # The optimized build eliminates ~38% of kernel events outright —
+    # this ratio is deterministic, so assert it exactly-ish.
+    assert events_ratio > 1.5
+    # Loose wall-clock sanity floor (the real target, >= 2x the seed's
+    # ~17.5k pkt/s, is recorded in BENCH_hotpath.json; a hard 2x assert
+    # here would flake on loaded CI machines).
+    assert result.packets_per_sec > 0.5 * SEED_PKT_PER_SEC
+
+
+def test_hotpath_json_artifact_is_readable():
+    """The previous test's artifact parses and has the headline keys."""
+    path = os.path.normpath(
+        os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+    )
+    if not os.path.exists(path):
+        pytest.skip("BENCH_hotpath.json not generated in this session")
+    with open(path) as fh:
+        payload = json.load(fh)
+    for key in (
+        "events_per_sec",
+        "packets_per_sec",
+        "events_per_packet",
+        "speedup_pkt_per_sec_vs_seed",
+    ):
+        assert key in payload

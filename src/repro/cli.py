@@ -134,14 +134,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             forwarded[app] += 1
         heapq.heappush(heap, (t + size_bits / demands[app], app))
 
+    # A zero/negative duration simulates nothing; report zeros instead
+    # of dividing by it.
+    elapsed = args.duration if args.duration > 0 else float("inf")
     print(f"simulated {args.duration:.1f}s at link {format_rate(link)}:")
     for app in sorted(demands):
-        achieved = forwarded[app] * size_bits / args.duration
+        achieved = forwarded[app] * size_bits / elapsed
         print(
             f"  {app:>8s}: offered {format_rate(demands[app]):>12s}"
             f"  achieved {format_rate(achieved):>12s}"
         )
-    total = sum(forwarded.values()) * size_bits / args.duration
+    total = sum(forwarded.values()) * size_bits / elapsed
     print(f"  {'total':>8s}: {format_rate(total):>12s}")
     return 0
 

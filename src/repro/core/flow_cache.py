@@ -13,13 +13,47 @@ long experiment with flow churn stays at a fixed footprint.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, Tuple, TypeVar
+from typing import Generic, Hashable, List, Optional, Tuple, TypeVar
 
 from ..errors import CapacityError
 
-__all__ = ["ExactMatchCache"]
+__all__ = ["ExactMatchCache", "PathCache"]
 
 V = TypeVar("V")
+
+
+class PathCache:
+    """Memoised hierarchy-label → tree-path resolution.
+
+    The scheduling function walks a packet's hierarchy class label
+    root-to-leaf on every decision; resolving each class id through the
+    tree's dict costs several lookups and a list build per packet. The
+    number of *distinct* labels is just the number of leaf classes, so
+    this cache turns the per-packet resolution into one dict hit.
+
+    Hot path contract: readers access :attr:`entries` directly
+    (``cache.entries.get(label)``) and call :meth:`resolve` only on a
+    miss; the returned lists are shared and must not be mutated.
+    """
+
+    __slots__ = ("entries", "misses")
+
+    def __init__(self) -> None:
+        #: label tuple -> root-to-leaf list of ClassNode (shared).
+        self.entries: dict = {}
+        #: Slow-path resolutions performed (== distinct labels seen).
+        self.misses = 0
+
+    def resolve(self, tree, label: Tuple[str, ...]) -> List:
+        """Slow path: resolve *label* through *tree* and memoise it."""
+        path = [tree.node(classid) for classid in label]
+        self.entries[label] = path
+        self.misses += 1
+        return path
+
+    def clear(self) -> None:
+        """Drop everything (tree reconfiguration)."""
+        self.entries.clear()
 
 
 class ExactMatchCache(Generic[V]):
@@ -53,12 +87,13 @@ class ExactMatchCache(Generic[V]):
             self.misses += 1
             return None
         value, stored_at = entry
-        if self.idle_timeout and (now - stored_at) > self.idle_timeout:
-            del self._entries[key]
-            self.misses += 1
-            return None
+        if self.idle_timeout:
+            if (now - stored_at) > self.idle_timeout:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries[key] = (value, now)
         self._entries.move_to_end(key)
-        self._entries[key] = (value, now)
         self.hits += 1
         return value
 

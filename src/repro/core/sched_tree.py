@@ -166,6 +166,7 @@ class ClassNode:
         "forwarded_bits",
         "borrowed_bits",
         "lent_bits",
+        "_leaves",
     )
 
     def __init__(self, spec: ClassSpec, parent: Optional["ClassNode"], params: SchedulingParams):
@@ -208,6 +209,9 @@ class ClassNode:
         self.forwarded_bits = 0.0
         self.borrowed_bits = 0.0
         self.lent_bits = 0.0
+        #: Memoised leaf_descendants() result (tree is static after
+        #: construction; borrowing queries this on every red packet).
+        self._leaves: Optional[List[ClassNode]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -307,9 +311,15 @@ class ClassNode:
         self.shadow.rate_bps = 0.0
 
     # ------------------------------------------------------------------
-    def count_forwarded(self, size_bits: float) -> None:
-        """Add one forwarded packet's tokens to Γ and the counters."""
-        self.gamma.observe(size_bits)
+    def count_forwarded(self, size_bits: float, observe_gamma: bool = True) -> None:
+        """Add one forwarded packet's tokens to Γ and the counters.
+
+        ``observe_gamma=False`` skips the Γ accumulation — used by
+        ``gamma_mode="offered"``, where Γ was already counted at
+        arrival and only the forwarded counters remain to update.
+        """
+        if observe_gamma:
+            self.gamma.observe(size_bits)
         self.forwarded_packets += 1
         self.forwarded_bits += size_bits
 
@@ -323,17 +333,26 @@ class ClassNode:
         an interior shadow holding its own copy would let the same
         unused tokens be spent twice (once by the borrower, once later
         by the returning leaf).
+
+        The result is memoised: the tree never changes shape after
+        construction, and the borrow subprocedure asks on every red
+        packet. Callers must not mutate the returned list.
         """
+        cached = self._leaves
+        if cached is not None:
+            return cached
         if self.is_leaf:
-            return [self]
-        leaves: List[ClassNode] = []
-        stack = list(self.children)
-        while stack:
-            node = stack.pop(0)
-            if node.is_leaf:
-                leaves.append(node)
-            else:
-                stack.extend(node.children)
+            leaves: List[ClassNode] = [self]
+        else:
+            leaves = []
+            stack = list(self.children)
+            while stack:
+                node = stack.pop(0)
+                if node.is_leaf:
+                    leaves.append(node)
+                else:
+                    stack.extend(node.children)
+        self._leaves = leaves
         return leaves
 
     def path_from_root(self) -> List["ClassNode"]:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..net.packet import DropReason, Packet
+from .flow_cache import PathCache
 from .sched_tree import ClassNode, SchedulingParams, SchedulingTree
 from .token_bucket import MeterColor
 
@@ -67,19 +68,32 @@ class SchedulingFunction:
         self.tree = tree
         self.params: SchedulingParams = tree.params
         self.stats = SchedulingStats()
+        #: Label-tuple → node-path memo (one entry per leaf class).
+        self.path_cache = PathCache()
 
     # ------------------------------------------------------------------
     # granular steps (embedded mode)
     # ------------------------------------------------------------------
     def path_nodes(self, packet: Packet) -> List[ClassNode]:
-        """Resolve the packet's hierarchy label to tree nodes."""
-        return [self.tree.node(classid) for classid in packet.hierarchy_label]
+        """Resolve the packet's hierarchy label to tree nodes.
+
+        Memoised per label via :class:`~repro.core.flow_cache.PathCache`
+        — the dominant per-packet cost of the walk was the repeated
+        id → node dict lookups. The returned list is shared; callers
+        must not mutate it.
+        """
+        label = packet.hierarchy_label
+        path = self.path_cache.entries.get(label)
+        if path is None:
+            path = self.path_cache.resolve(self.tree, label)
+        return path
 
     def touch_path(self, path: List[ClassNode], now: float) -> None:
         """Record arrival activity on every class of the path (offered
         packets keep a class active even when all of them are red)."""
-        for node in path:
-            node.touch(now)
+        for node in path:  # inlined ClassNode.touch — per-packet hot
+            if now > node.last_seen:
+                node.last_seen = now
 
     def update_step(self, node: ClassNode, now: float) -> bool:
         """One loop iteration's lock attempt + update (lines 1-4).
@@ -109,14 +123,15 @@ class SchedulingFunction:
             leaf.bucket.refill(now)
         return leaf.bucket.meter(self.params.packet_bits(packet.size))
 
-    def borrow(self, packet: Packet, now: float) -> Optional[ClassNode]:
+    def borrow(self, packet: Packet, now: float, size_bits: Optional[float] = None) -> Optional[ClassNode]:
         """Lines 9-15: query lender shadow buckets in label order.
 
         Returns the lender that granted tokens, or ``None``.
         """
         if not self.params.borrow_enabled:
             return None
-        size_bits = self.params.packet_bits(packet.size)
+        if size_bits is None:
+            size_bits = self.params.packet_bits(packet.size)
         for lender_id in packet.borrow_label:
             lender = self.tree.node(lender_id)
             # An interior lender stands for its subtree: query its leaf
@@ -133,33 +148,52 @@ class SchedulingFunction:
                     return leaf_lender
         return None
 
-    def commit(self, packet: Packet, path: List[ClassNode], borrowed_from: Optional[ClassNode]) -> None:
+    def commit(
+        self,
+        packet: Packet,
+        path: List[ClassNode],
+        borrowed_from: Optional[ClassNode],
+        gamma_counted: bool = False,
+        size_bits: Optional[float] = None,
+    ) -> None:
         """Account a FORWARD: add the packet's tokens to Γ of every
         class on its path (Eq. 3; ``gamma_mode="forwarded"``), and
         drain root/interior buckets — they "use tokens to measure flow
         rate", and that drain is what determines the unconsumed excess
         their next update transfers to the shadow bucket (Fig. 9:
         Γ_S2 = Γ_ML, so S2's lendable part already excludes ML's use).
-        """
-        size_bits = self.params.packet_bits(packet.size)
-        for node in path:
-            node.count_forwarded(size_bits)
-            if not node.is_leaf:
-                node.bucket.consume(size_bits)
-        self.stats.forwarded += 1
-        if borrowed_from is None:
-            self.stats.forwarded_on_own_tokens += 1
-        else:
-            self.stats.forwarded_on_borrowed_tokens += 1
-            path[-1].borrowed_bits += size_bits
-            key = (path[-1].classid, borrowed_from.classid)
-            self.stats.borrow_matrix[key] = self.stats.borrow_matrix.get(key, 0) + 1
 
-    def _count_offered(self, packet: Packet, path: List[ClassNode]) -> None:
+        ``gamma_counted=True`` (the ``"offered"`` Γ mode) skips the Γ
+        observation — it already happened at arrival — but performs
+        every other piece of forwarding accounting identically, so both
+        Γ modes report the same forwarded/borrow statistics.
+        """
+        if size_bits is None:
+            size_bits = self.params.packet_bits(packet.size)
+        observe_gamma = not gamma_counted
+        for node in path:
+            node.count_forwarded(size_bits, observe_gamma)
+            if node.children:
+                node.bucket.consume(size_bits)
+        stats = self.stats
+        stats.forwarded += 1
+        if borrowed_from is None:
+            stats.forwarded_on_own_tokens += 1
+        else:
+            stats.forwarded_on_borrowed_tokens += 1
+            leaf = path[-1]
+            leaf.borrowed_bits += size_bits
+            key = (leaf.classid, borrowed_from.classid)
+            stats.borrow_matrix[key] = stats.borrow_matrix.get(key, 0) + 1
+
+    def _count_offered(
+        self, packet: Packet, path: List[ClassNode], size_bits: Optional[float] = None
+    ) -> None:
         """Alternative Γ accounting: count on arrival (the literal
         line ordering of Algorithm 1) — the ``gamma_mode="offered"``
         ablation."""
-        size_bits = self.params.packet_bits(packet.size)
+        if size_bits is None:
+            size_bits = self.params.packet_bits(packet.size)
         for node in path:
             node.gamma.observe(size_bits)
 
@@ -173,37 +207,30 @@ class SchedulingFunction:
         :class:`~repro.core.labeling.LabelingFunction`).
         """
         self.stats.decisions += 1
+        params = self.params
         path = self.path_nodes(packet)
         self.touch_path(path, now)
-        offered_mode = self.params.gamma_mode == "offered"
+        size_bits = params.packet_bits(packet.size)
+        offered_mode = params.gamma_mode == "offered"
         if offered_mode:
-            self._count_offered(packet, path)
+            self._count_offered(packet, path, size_bits)
+        update_step = self.update_step
         for node in path:
-            self.update_step(node, now)
+            update_step(node, now)
         leaf = path[-1]
-        color = self.meter_leaf(packet, leaf, now)
+        if params.continuous_refill:
+            leaf.bucket.refill(now)
+        color = leaf.bucket.meter(size_bits)
         borrowed_from: Optional[ClassNode] = None
         if color is not MeterColor.GREEN:
-            borrowed_from = self.borrow(packet, now)
+            borrowed_from = self.borrow(packet, now, size_bits)
             if borrowed_from is None:
                 self.stats.dropped += 1
                 packet.mark_dropped(DropReason.SCHED_RED)
                 return Verdict.DROP
-        if offered_mode:
-            # Γ already counted at arrival; only update stats/counters
-            # (interior measurement drain still tracks forwarded bits).
-            for node in path:
-                if not node.is_leaf:
-                    node.bucket.consume(self.params.packet_bits(packet.size))
-            leaf.forwarded_packets += 1
-            leaf.forwarded_bits += self.params.packet_bits(packet.size)
-            self.stats.forwarded += 1
-            if borrowed_from is None:
-                self.stats.forwarded_on_own_tokens += 1
-            else:
-                self.stats.forwarded_on_borrowed_tokens += 1
-        else:
-            self.commit(packet, path, borrowed_from)
+        # Both Γ modes run the same forwarding accounting; offered mode
+        # already counted Γ at arrival, so commit() only skips that.
+        self.commit(packet, path, borrowed_from, gamma_counted=offered_mode, size_bits=size_bits)
         return Verdict.FORWARD
 
     # ------------------------------------------------------------------

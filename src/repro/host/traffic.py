@@ -163,26 +163,40 @@ class FixedRateSender:
         self._process = sim.process(self._run())
 
     def _run(self):
-        size_bits = self.packet_size * 8.0
-        base_interval = size_bits / self.rate_bps
+        # One loop iteration per injected packet — keep the per-packet
+        # state in locals instead of `self.` attribute lookups.
+        sim = self.sim
+        make = self.factory.make
+        submit = self.submit
+        demand = self.demand
+        rate_bps = self.rate_bps
+        packet_size = self.packet_size
+        size_bits = packet_size * 8.0
+        base_interval = size_bits / rate_bps
+        idle_interval = 10 * base_interval
+        flow = self.flow
+        name = self.name
+        vf_index = self.vf_index
+        cpu = self.cpu
+        send_cost = self.send_cost_seconds
+        cpu_tag = f"app:{name}"
+        jitter = self.jitter
+        uniform = self.rng.uniform if (jitter > 0 and self.rng is not None) else None
         while True:
-            effective_rate = self.rate_bps
-            if self.demand is not None:
-                demanded = self.demand(self.sim.now)
+            effective_rate = rate_bps
+            if demand is not None:
+                demanded = demand(sim.now)
                 if demanded <= 0:
-                    yield 10 * base_interval
+                    yield idle_interval
                     continue
-                effective_rate = min(self.rate_bps, demanded)
+                effective_rate = min(rate_bps, demanded)
             interval = size_bits / effective_rate
-            packet = self.factory.make(
-                self.packet_size, self.flow, self.sim.now,
-                app=self.name, vf_index=self.vf_index,
-            )
-            if self.cpu is not None and self.send_cost_seconds > 0:
-                self.cpu.charge(f"app:{self.name}", self.send_cost_seconds)
+            packet = make(packet_size, flow, sim.now, app=name, vf_index=vf_index)
+            if cpu is not None and send_cost > 0:
+                cpu.charge(cpu_tag, send_cost)
             self.sent_packets += 1
-            self.submit(packet)
+            submit(packet)
             gap = interval
-            if self.jitter > 0 and self.rng is not None:
-                gap *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+            if uniform is not None:
+                gap *= 1.0 + uniform(-jitter, jitter)
             yield gap

@@ -60,17 +60,19 @@ class PacketSink:
     def receive(self, packet: Packet) -> None:
         """Account one delivered frame. Wire this to ``Link.receiver``."""
         app = packet.app
+        size = packet.size
+        now = self.sim._now  # hot path: one clock read per frame
         self.packets[app] += 1
-        self.bytes[app] += packet.size
+        self.bytes[app] += size
         self.total_packets += 1
-        self.total_bytes += packet.size
+        self.total_bytes += size
         series = self.rates.get(app)
         if series is None:
             series = RateSeries(window=self._rate_window)
             self.rates[app] = series
-        series.add(self.sim.now, packet.size * 8)
-        if self.record_delays and packet.created_at >= 0 and self.sim.now >= self.delay_start:
-            delay = self.sim.now - packet.created_at
+        series.add(now, size * 8)
+        if self.record_delays and packet.created_at >= 0 and now >= self.delay_start:
+            delay = now - packet.created_at
             self.delays.append(delay)
             self.delays_by_app[app].append(delay)
         if self.on_delivery is not None:

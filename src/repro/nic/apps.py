@@ -64,6 +64,12 @@ class FlowValveNicApp(NicApp):
         #: Per-class blocking locks (created lazily per lock mode).
         self._class_locks: Dict[str, Lock] = {}
         self._global_lock: Optional[Lock] = None
+        #: cycle-count → seconds memo. Handle() converts a handful of
+        #: distinct cycle budgets on every packet; the conversion must
+        #: stay ``config.seconds(n)`` (same division, bit-identical
+        #: floats), so cache its results rather than precompute a
+        #: seconds-per-cycle factor.
+        self._cycles_cache: Dict[int, float] = {}
 
     def bind(self, pipeline: "NicPipeline") -> None:
         super().bind(pipeline)
@@ -72,7 +78,11 @@ class FlowValveNicApp(NicApp):
 
     # ------------------------------------------------------------------
     def _cycles(self, n: int) -> float:
-        return self.pipeline.config.seconds(n)
+        cache = self._cycles_cache
+        sec = cache.get(n)
+        if sec is None:
+            sec = cache[n] = self.pipeline.config.seconds(n)
+        return sec
 
     def _class_lock(self, classid: str) -> Lock:
         lock = self._class_locks.get(classid)
@@ -92,27 +102,33 @@ class FlowValveNicApp(NicApp):
 
     # ------------------------------------------------------------------
     def handle(self, packet: Packet) -> Generator:
-        sim = self.pipeline.sim
-        costs = self.pipeline.config.costs
-        lock_mode = self.pipeline.config.lock_mode
+        pipeline = self.pipeline
+        sim = pipeline.sim
+        config = pipeline.config
+        costs = config.costs
+        lock_mode = config.lock_mode
+        cycles = self._cycles
 
         # --- labeling function ---------------------------------------
-        cache = self.labeler.cache
+        labeler = self.labeler
+        cache = labeler.cache
         hits_before = cache.hits if cache is not None else 0
-        label = self.labeler.label(packet, sim.now)
+        # sim._now (not the .now property): this generator reads the
+        # clock several times per packet between yields.
+        label = labeler.label(packet, sim._now)
         if label is None:
             return Verdict.DROP
         if cache is not None and cache.hits > hits_before:
-            yield self._cycles(costs.emc_hit)
+            yield cycles(costs.emc_hit)
         else:
-            yield self._cycles(
-                costs.emc_hit + costs.classify_per_rule * max(1, len(self.labeler.classifier))
+            yield cycles(
+                costs.emc_hit + costs.classify_per_rule * max(1, len(labeler.classifier))
             )
 
         # --- scheduling function (Algorithm 1) ------------------------
         scheduler = self.scheduler
         path = scheduler.path_nodes(packet)
-        scheduler.touch_path(path, sim.now)
+        scheduler.touch_path(path, sim._now)
 
         if lock_mode == "sequential":
             # Fig. 7(b): the entire scheduling function is single-
@@ -135,8 +151,74 @@ class FlowValveNicApp(NicApp):
             verdict = yield from self._meter_and_borrow(packet, path, costs)
             return verdict
 
-        verdict = yield from self._sched_body(packet, path, costs, lock_mode)
-        return verdict
+        if lock_mode == "per_class_block":
+            verdict = yield from self._sched_body(packet, path, costs, lock_mode)
+            return verdict
+
+        # trylock — FlowValve's design and the hot default. The update
+        # loop and meter/borrow bodies are inlined (instead of the
+        # ``yield from`` helpers the other modes use) so each of the
+        # ~4 yields per packet resumes through two generator frames,
+        # not four. The yield sequence and all state transitions are
+        # identical to _update_loop(blocking=False) + _meter_and_borrow.
+        stats = scheduler.stats
+        params = scheduler.params
+        per_class = costs.sched_per_class
+        trylock_cost = costs.update_trylock
+        update_body = costs.update_body
+        cyc = self._cycles_cache  # inline _cycles: ~4 lookups per packet
+        accumulated = 0
+        for node in path:
+            accumulated += per_class
+            if node.try_begin_update(sim._now):
+                n = accumulated + update_body
+                sec = cyc.get(n)
+                yield sec if sec is not None else cycles(n)
+                accumulated = 0
+                node.perform_update(sim._now)
+                node.end_update()
+                stats.updates_run += 1
+            else:
+                accumulated += trylock_cost
+                stats.updates_skipped += 1
+        if accumulated:
+            sec = cyc.get(accumulated)
+            yield sec if sec is not None else cycles(accumulated)
+
+        leaf = path[-1]
+        size_bits = params.packet_bits(packet.size)
+        sec = cyc.get(costs.meter)
+        yield sec if sec is not None else cycles(costs.meter)
+        if params.continuous_refill:
+            leaf.bucket.refill(sim._now)
+        color = leaf.bucket.meter(size_bits)
+        borrowed_from = None
+        if color is not MeterColor.GREEN:
+            if params.borrow_enabled:
+                for lender_id in packet.borrow_label:
+                    lender = scheduler.tree.node(lender_id)
+                    for leaf_lender in lender.leaf_descendants():
+                        if leaf_lender.try_begin_update(sim._now):
+                            yield cycles(costs.borrow_query + costs.update_body)
+                            leaf_lender.perform_update(sim._now)
+                            leaf_lender.end_update()
+                            stats.updates_run += 1
+                        else:
+                            yield cycles(costs.borrow_query)
+                        if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
+                            leaf_lender.lent_bits += size_bits
+                            borrowed_from = leaf_lender
+                            break
+                    if borrowed_from is not None:
+                        break
+            if borrowed_from is None:
+                stats.dropped += 1
+                stats.decisions += 1
+                packet.mark_dropped(DropReason.SCHED_RED)
+                return Verdict.DROP
+        scheduler.commit(packet, path, borrowed_from, size_bits=size_bits)
+        stats.decisions += 1
+        return Verdict.FORWARD
 
     def _sched_body(self, packet, path, costs, lock_mode) -> Generator:
         if lock_mode == "per_class_block":
@@ -157,61 +239,70 @@ class FlowValveNicApp(NicApp):
         procedure at a time".
         """
         sim = self.pipeline.sim
-        scheduler = self.scheduler
+        stats = self.scheduler.stats
+        cycles = self._cycles
+        per_class = costs.sched_per_class
+        trylock_cost = costs.update_trylock
+        update_body = costs.update_body
         accumulated = 0
         for node in path:
-            accumulated += costs.sched_per_class
+            accumulated += per_class
             if blocking:
                 # The lock acquire itself is an atomic probe, same cost
                 # as the trylock path's.
-                accumulated += costs.update_trylock
-                yield self._cycles(accumulated)
+                accumulated += trylock_cost
+                yield cycles(accumulated)
                 accumulated = 0
                 lock = self._class_lock(node.classid)
                 yield lock.acquire()
                 try:
                     if node.try_begin_update(sim.now):
-                        yield self._cycles(costs.update_body)
+                        yield cycles(update_body)
                         node.perform_update(sim.now)
                         node.end_update()
-                        scheduler.stats.updates_run += 1
+                        stats.updates_run += 1
                     else:
-                        scheduler.stats.updates_skipped += 1
+                        stats.updates_skipped += 1
                 finally:
                     lock.release()
             else:
                 if node.try_begin_update(sim.now):
-                    yield self._cycles(accumulated + costs.update_body)
+                    yield cycles(accumulated + update_body)
                     accumulated = 0
                     node.perform_update(sim.now)
                     node.end_update()
-                    scheduler.stats.updates_run += 1
+                    stats.updates_run += 1
                 else:
-                    accumulated += costs.update_trylock
-                    scheduler.stats.updates_skipped += 1
+                    accumulated += trylock_cost
+                    stats.updates_skipped += 1
         if accumulated:
-            yield self._cycles(accumulated)
+            yield cycles(accumulated)
 
     def _meter_and_borrow(self, packet, path, costs) -> Generator:
         sim = self.pipeline.sim
         scheduler = self.scheduler
+        stats = scheduler.stats
+        params = scheduler.params
+        cycles = self._cycles
         leaf = path[-1]
-        yield self._cycles(costs.meter)
-        color = scheduler.meter_leaf(packet, leaf, sim.now)
+        size_bits = params.packet_bits(packet.size)
+        yield cycles(costs.meter)
+        if params.continuous_refill:
+            leaf.bucket.refill(sim.now)
+        color = leaf.bucket.meter(size_bits)
         borrowed_from = None
         if color is not MeterColor.GREEN:
-            if scheduler.params.borrow_enabled:
-                size_bits = scheduler.params.packet_bits(packet.size)
+            if params.borrow_enabled:
                 for lender_id in packet.borrow_label:
                     lender = scheduler.tree.node(lender_id)
                     for leaf_lender in lender.leaf_descendants():
                         if leaf_lender.try_begin_update(sim.now):
-                            yield self._cycles(costs.borrow_query + costs.update_body)
+                            yield cycles(costs.borrow_query + costs.update_body)
                             leaf_lender.perform_update(sim.now)
                             leaf_lender.end_update()
-                            scheduler.stats.updates_run += 1
+                            stats.updates_run += 1
                         else:
-                            yield self._cycles(costs.borrow_query)
+                            yield cycles(costs.borrow_query)
                         if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
                             leaf_lender.lent_bits += size_bits
                             borrowed_from = leaf_lender
@@ -219,10 +310,10 @@ class FlowValveNicApp(NicApp):
                     if borrowed_from is not None:
                         break
             if borrowed_from is None:
-                scheduler.stats.dropped += 1
-                scheduler.stats.decisions += 1
+                stats.dropped += 1
+                stats.decisions += 1
                 packet.mark_dropped(DropReason.SCHED_RED)
                 return Verdict.DROP
-        scheduler.commit(packet, path, borrowed_from)
-        scheduler.stats.decisions += 1
+        scheduler.commit(packet, path, borrowed_from, size_bits=size_bits)
+        stats.decisions += 1
         return Verdict.FORWARD

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..core.scheduling import Verdict
 from ..net.link import Link
 from ..net.packet import DropReason, Packet
 from ..sim import Simulator, Store
@@ -101,7 +102,7 @@ class NicPipeline:
         the PCIe DMA latency.
         """
         self.submitted += 1
-        packet.nic_arrival = self.sim.now
+        packet.nic_arrival = self.sim._now  # hot path: skip the property
         if not self.buffers.try_allocate():
             self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
             return False
@@ -116,22 +117,35 @@ class NicPipeline:
     # the worker micro-engines
     # ------------------------------------------------------------------
     def _worker(self, worker_id: int):
-        """Run-to-completion loop of one worker ME."""
+        """Run-to-completion loop of one worker ME.
+
+        Per-packet state lives in hoisted locals: the loop runs for
+        every packet of an experiment, so attribute chains
+        (``self.config.costs...``) are resolved once, and the fixed
+        overhead — a constant — is converted to seconds once.
+        """
+        dispatch_get = self.dispatch.get
+        reorder = self.reorder
+        handle = self.app.handle
+        emit = self._emit_to_tx
+        drop = self._drop
+        fixed_overhead = self.config.seconds(self.config.costs.fixed_overhead)
+        forward = Verdict.FORWARD
         while True:
-            packet: Packet = yield self.dispatch.get()
-            ticket = self.reorder.take_ticket() if self.reorder is not None else -1
-            yield self.config.seconds(self.config.costs.fixed_overhead)
-            verdict = yield from self.app.handle(packet)
-            if verdict.value == "forward":
-                if self.reorder is not None:
-                    self.reorder.complete(ticket, packet)
+            packet: Packet = yield dispatch_get()
+            ticket = reorder.take_ticket() if reorder is not None else -1
+            yield fixed_overhead
+            verdict = yield from handle(packet)
+            if verdict is forward:
+                if reorder is not None:
+                    reorder.complete(ticket, packet)
                 else:
-                    self._emit_to_tx(packet)
+                    emit(packet)
             else:
-                if self.reorder is not None:
-                    self.reorder.complete(ticket, None)
+                if reorder is not None:
+                    reorder.complete(ticket, None)
                 reason = packet.drop_reason if packet.drop_reason is not None else DropReason.SCHED_RED
-                self._drop(packet, reason, already_marked=True)
+                drop(packet, reason, already_marked=True)
 
     # ------------------------------------------------------------------
     # egress
@@ -156,7 +170,12 @@ class NicPipeline:
         if not already_marked or not packet.dropped:
             packet.mark_dropped(reason)
         self.dropped += 1
-        self.drops_by_reason[packet.drop_reason] += 1
+        # Tally under the *caller's* reason: an ``already_marked``
+        # packet keeps its original mark (above), but this particular
+        # discard happened for ``reason`` — e.g. a packet marked by an
+        # earlier stage that then hits a full Tx ring must count as a
+        # queue_full drop, not under its stale mark.
+        self.drops_by_reason[reason] += 1
         if release_buffer:
             self.buffers.release()
         if self.on_drop is not None:

@@ -43,6 +43,13 @@ class ReorderBuffer:
     def complete(self, ticket: int, packet: Optional[Packet]) -> None:
         """Report a finished ticket; ``None`` means the packet was
         dropped and only frees the slot."""
+        if ticket == self._next_release and not self._pending:
+            # In-order completion with nothing parked — the common case
+            # — releases immediately without touching the dict.
+            self._next_release = ticket + 1
+            if packet is not None:
+                self._emit(packet)
+            return
         if ticket < self._next_release or ticket in self._pending:
             raise ValueError(f"ticket {ticket} completed twice")
         self._pending[ticket] = packet

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 
@@ -40,8 +41,8 @@ class Event:
     def cancel(self) -> None:
         """Prevent the callback from running. Idempotent.
 
-        The entry stays in the heap (lazy deletion) and is skipped when
-        it reaches the front, so cancellation is O(1).
+        The entry stays queued (lazy deletion) and is skipped when it
+        reaches the front, so cancellation is O(1).
         """
         self.cancelled = True
 
@@ -61,12 +62,32 @@ class EventQueue:
     Ties are broken by insertion sequence so that equal-time events run
     in the order they were scheduled — this is what makes runs
     deterministic.
+
+    Two internal stores back the queue (the hot-path layout the event
+    loop in :meth:`Simulator.run` exploits directly):
+
+    * ``_heap`` — ``(time, seq, event)`` tuples ordered by ``heapq``.
+      Tuples compare on the float/int keys at C speed, so pushing and
+      popping never call a Python ``__lt__``; ``seq`` is unique, so
+      the comparison never reaches the event object itself. The third
+      element is normally an :class:`Event`, but the *resume lane*
+      (process delay-yields, the most frequent event kind) stores the
+      bare resume callable instead — no handle allocation, called as
+      ``fn(None, None)``, never cancellable. Consumers dispatch on
+      ``payload.__class__ is Event``.
+    * ``_nowq`` — a FIFO of zero-delay events (process resumes, event
+      callbacks, store handoffs — roughly half of all traffic). They
+      fire at the timestamp they were scheduled, so a deque append
+      replaces an O(log n) heap push. Both stores share one ``seq``
+      counter and every pop compares ``(time, seq)`` across them, so
+      the merged order is exactly the order a single heap would give.
     """
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_nowq", "_counter", "_live")
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._nowq: Deque[Event] = deque()
         self._counter = itertools.count()
         self._live = 0
 
@@ -79,7 +100,19 @@ class EventQueue:
     def push(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()) -> Event:
         """Insert a callback at absolute *time* and return its handle."""
         event = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
+        self._live += 1
+        return event
+
+    def push_now(self, now: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()) -> Event:
+        """Insert a callback firing at the current timestamp *now*.
+
+        The fast path for zero-delay scheduling: the entry goes to the
+        FIFO ``_nowq`` instead of the heap. Only valid for ``now`` ==
+        the simulator's current time (callers guarantee this).
+        """
+        event = Event(now, next(self._counter), fn, args)
+        self._nowq.append(event)
         self._live += 1
         return event
 
@@ -89,24 +122,50 @@ class EventQueue:
         Raises :class:`SimulationError` when the queue is empty.
         """
         heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
+        nowq = self._nowq
+        while True:
+            if nowq:
+                event = nowq[0]
+                top = heap[0] if heap else None
+                if top is None or top[0] > event.time or (
+                    top[0] == event.time and top[1] > event.seq
+                ):
+                    nowq.popleft()
+                    self._live -= 1
+                    if event.cancelled:
+                        continue
+                    return event
+            if not heap:
+                raise SimulationError("pop from an empty event queue")
+            time, seq, payload = heapq.heappop(heap)
             self._live -= 1
-            return event
-        raise SimulationError("pop from an empty event queue")
+            if payload.__class__ is not Event:
+                # Resume-lane entry: wrap it so pop()'s contract holds
+                # (only the cold step() path pays this allocation).
+                return Event(time, seq, payload, (None, None))
+            if payload.cancelled:
+                continue
+            return payload
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
-
-    def note_cancelled(self) -> None:
-        """Bookkeeping hook: an event in this queue was cancelled."""
-        self._live -= 1
+        while heap:
+            payload = heap[0][2]
+            if payload.__class__ is Event and payload.cancelled:
+                heapq.heappop(heap)
+                self._live -= 1
+            else:
+                break
+        nowq = self._nowq
+        while nowq and nowq[0].cancelled:
+            nowq.popleft()
+            self._live -= 1
+        if nowq:
+            if heap and heap[0][0] < nowq[0].time:
+                return heap[0][0]
+            return nowq[0].time
+        return heap[0][0] if heap else None
 
 
 class SimEvent:
@@ -139,8 +198,21 @@ class SimEvent:
             self._callbacks.append(callback)
 
     def succeed(self, value: Any = None) -> "SimEvent":
-        """Trigger the event successfully with an optional payload."""
-        self._trigger(True, value)
+        """Trigger the event successfully with an optional payload.
+
+        (_trigger is inlined here: succeed runs for every resource
+        handoff, so the extra call frame is measurable.)
+        """
+        if self.triggered:
+            raise SimulationError("SimEvent triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            schedule = self.sim.schedule
+            for callback in callbacks:
+                schedule(0.0, callback, self)
         return self
 
     def fail(self, exc: BaseException) -> "SimEvent":
@@ -155,8 +227,10 @@ class SimEvent:
         self.ok = ok
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim.schedule(0.0, callback, self)
+        if callbacks:
+            schedule = self.sim.schedule
+            for callback in callbacks:
+                schedule(0.0, callback, self)
 
 
 class AllOf(SimEvent):

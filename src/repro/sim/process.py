@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from heapq import heappush
+
 from ..errors import ProcessError
 from .events import SimEvent
 
@@ -40,7 +42,7 @@ class Process(SimEvent):
       generator at the current timestamp.
     """
 
-    __slots__ = ("_generator", "_alive")
+    __slots__ = ("_generator", "_alive", "_send", "_throw")
 
     def __init__(self, sim: Any, generator: Generator[Any, Any, Any]):
         if not hasattr(generator, "send"):
@@ -51,6 +53,9 @@ class Process(SimEvent):
         super().__init__(sim)
         self._generator = generator
         self._alive = True
+        # Bound methods cached once: _resume runs per simulated event.
+        self._send = generator.send
+        self._throw = generator.throw
         # Kick off on the current timestamp, after the caller returns.
         sim.schedule(0.0, self._resume, None, None)
 
@@ -71,9 +76,9 @@ class Process(SimEvent):
             return
         try:
             if throw_exc is not None:
-                yielded = self._generator.throw(throw_exc)
+                yielded = self._throw(throw_exc)
             else:
-                yielded = self._generator.send(send_value)
+                yielded = self._send(send_value)
         except StopIteration as stop:
             self._alive = False
             self.succeed(getattr(stop, "value", None))
@@ -88,11 +93,39 @@ class Process(SimEvent):
             self._alive = False
             self.fail(exc)
             return
+        # Fast path, inlined from _wait_on: a bare delay schedules the
+        # resume directly — no intermediate timeout SimEvent, no
+        # subscription, and one queued event instead of two. The resume
+        # fires at the seq the timeout's *succeed* would have had, which
+        # keeps relative order among delay-yielding processes identical.
+        # The queue insert is open-coded (mirroring Simulator.schedule)
+        # and pushes a bare ``(time, seq, resume)`` entry — the resume
+        # lane of EventQueue — skipping the Event handle allocation:
+        # this is the single most frequent schedule in packet workloads
+        # and nothing ever cancels it.
+        cls = yielded.__class__
+        if cls is float or cls is int:
+            if yielded > 0.0:
+                sim = self.sim
+                queue = sim._queue
+                heappush(
+                    queue._heap,
+                    (sim._now + yielded, next(queue._counter), self._resume),
+                )
+                queue._live += 1
+            else:
+                # Zero routes through schedule's now-queue path;
+                # negative raises there.
+                self.sim.schedule(yielded, self._resume, None, None)
+            return
         self._wait_on(yielded)
 
     def _wait_on(self, yielded: Any) -> None:
         if isinstance(yielded, (int, float)):
-            yielded = self.sim.timeout(float(yielded))
+            # Same fast path for int/float subclasses (bool, numpy-ish
+            # scalars) that miss _resume's exact-class check.
+            self.sim.schedule(float(yielded), self._resume, None, None)
+            return
         if not isinstance(yielded, SimEvent):
             self._alive = False
             exc = ProcessError(
@@ -100,6 +133,16 @@ class Process(SimEvent):
                 "yield a SimEvent or a delay in seconds"
             )
             self.fail(exc)
+            return
+        if yielded.triggered:
+            # Already-triggered event (e.g. a Store.get with an item
+            # ready): schedule the resume directly at the same position
+            # subscribe() would have queued _on_waited, skipping that
+            # intermediate callback frame.
+            if yielded.ok:
+                self.sim.schedule(0.0, self._resume, yielded.value, None)
+            else:
+                self.sim.schedule(0.0, self._resume, None, yielded.value)
             return
         yielded.subscribe(self._on_waited)
 

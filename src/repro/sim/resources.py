@@ -155,7 +155,7 @@ class Store:
             self.total_got += 1
             getter.succeed(item)
             return True
-        if self.is_full:
+        if self.capacity > 0 and len(self._items) >= self.capacity:  # is_full, inlined
             return False
         self._items.append(item)
         self.total_put += 1

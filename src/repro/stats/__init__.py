@@ -5,9 +5,12 @@ from .timeseries import TimeSeries, RateSeries
 from .rates import EwmaRate, WindowedRate
 from .latency import LatencySummary, summarize_latencies, percentile, jitter
 from .cpu import CoreUsage, CpuReport
+from .perf import HotpathResult, measure_run
 from .report import Table, render_table, format_series
 
 __all__ = [
+    "HotpathResult",
+    "measure_run",
     "TimeSeries",
     "RateSeries",
     "EwmaRate",

@@ -1,0 +1,95 @@
+"""Hot-path micro-profiler: events/sec and packets/sec of a sim run.
+
+The DES kernel's throughput bounds every experiment's wall time, so
+regressions there silently make the whole suite slower. This module
+wraps one simulation run with wall-clock measurement and derives the
+two rates that matter — simulator events per second (kernel dispatch
+cost) and packets per second (end-to-end per-packet cost) — plus the
+events-per-packet ratio, which is *deterministic* for a fixed seed and
+therefore the stable thing to compare across machines.
+
+Used by ``benchmarks/test_bench_hotpath.py``, which persists the
+result next to the repo's other benchmark artifacts as
+``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional
+
+__all__ = ["HotpathResult", "measure_run", "write_json"]
+
+
+@dataclass
+class HotpathResult:
+    """One measured simulation run.
+
+    Rates are wall-clock dependent; ``events`` / ``packets`` /
+    ``events_per_packet`` are reproducible exactly for a fixed seed.
+    """
+
+    label: str
+    wall_seconds: float
+    events: int
+    packets: int
+    events_per_sec: float
+    packets_per_sec: float
+    events_per_packet: float
+
+    def summary(self) -> str:
+        """One-line human rendering for bench output."""
+        return (
+            f"{self.label}: wall={self.wall_seconds:.2f}s "
+            f"events={self.events} packets={self.packets} "
+            f"({self.events_per_sec:,.0f} ev/s, {self.packets_per_sec:,.0f} pkt/s, "
+            f"{self.events_per_packet:.1f} ev/pkt)"
+        )
+
+
+def measure_run(
+    sim,
+    run: Callable[[], None],
+    packets_of: Callable[[], int],
+    label: str = "run",
+) -> HotpathResult:
+    """Time ``run()`` and derive kernel/packet rates.
+
+    Parameters
+    ----------
+    sim: the simulator the run drives (read for ``events_executed``).
+    run: executes the simulation (e.g. ``lambda: sim.run(until=20)``).
+    packets_of: returns the packet count after the run (e.g.
+        ``lambda: pipeline.submitted``).
+    label: tag recorded in the result.
+    """
+    events_before = sim.events_executed
+    start = time.perf_counter()
+    run()
+    wall = time.perf_counter() - start
+    events = sim.events_executed - events_before
+    packets = packets_of()
+    # Degenerate runs (empty queue, zero-length horizon) still produce
+    # a well-formed result; rates are 0 rather than a ZeroDivisionError.
+    safe_wall = wall if wall > 0 else float("inf")
+    return HotpathResult(
+        label=label,
+        wall_seconds=wall,
+        events=events,
+        packets=packets,
+        events_per_sec=events / safe_wall,
+        packets_per_sec=packets / safe_wall,
+        events_per_packet=(events / packets) if packets else 0.0,
+    )
+
+
+def write_json(path: str, result: HotpathResult, extra: Optional[dict] = None) -> None:
+    """Persist *result* (plus optional comparison context) as JSON."""
+    payload = asdict(result)
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

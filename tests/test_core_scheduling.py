@@ -271,3 +271,43 @@ class TestGammaModes:
         node = valve.tree.node("1:10")
         # Offered Γ reflects the 8 Mbit offered load, not the 1 Mbit forwarded.
         assert node.gamma_rate > 4e6
+
+    @pytest.mark.parametrize("offered_bps", [8e6, 20e6])
+    def test_gamma_modes_report_identical_borrow_stats(self, offered_bps):
+        """Both Γ modes run the same forwarding accounting via commit().
+
+        Regression: ``gamma_mode="offered"`` used to bypass the borrow
+        bookkeeping entirely, so ``forwarded_on_borrowed_tokens``, the
+        borrow matrix, and the leaf's ``borrowed_bits`` stayed zero
+        even when every forwarded packet rode on borrowed tokens.
+        """
+        from repro.core.sched_tree import SchedulingParams
+
+        body = (
+            "fv class add dev eth0 parent 1:1 classid 1:10 fv weight 1 borrow 1:20\n"
+            "fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1\n"
+            "fv filter add dev eth0 parent 1: match app=A flowid 1:10\n"
+            "fv filter add dev eth0 parent 1: match app=B flowid 1:20\n"
+        )
+        results = {}
+        for mode in ("forwarded", "offered"):
+            params = SchedulingParams(
+                update_interval=0.1, expire_after=1.0, gamma_mode=mode
+            )
+            valve = FlowValve.from_script(
+                BASE + body, link_rate_bps=10e6, params=params
+            )
+            drive_valve(valve, {"A": constant(offered_bps)}, duration=10.0)
+            stats = valve.stats
+            results[mode] = {
+                "forwarded": stats.forwarded,
+                "own": stats.forwarded_on_own_tokens,
+                "borrowed": stats.forwarded_on_borrowed_tokens,
+                "matrix": dict(stats.borrow_matrix),
+                "leaf_borrowed_bits": valve.tree.node("1:10").borrowed_bits,
+            }
+        # The trace exercises borrowing (A is over its own share), so a
+        # silently-skipped accounting path would show up as zeros.
+        assert results["forwarded"]["borrowed"] > 0
+        assert ("1:10", "1:20") in results["forwarded"]["matrix"]
+        assert results["offered"] == results["forwarded"]

@@ -1,0 +1,173 @@
+"""Golden-trace regression tests: the determinism contract.
+
+The hot-path optimizations (PR 1) must not change *behaviour*: for a
+fixed seed, the sequence of per-packet verdicts and drops has to stay
+byte-identical to what the unoptimized seed code produced. These tests
+replay two fixed workloads and compare a SHA-256 digest of the full
+observable trace against digests recorded from the seed tree
+(``tests/data/golden_trace.json``).
+
+Two traces are pinned:
+
+* **software** — FlowValve's software mode (`FlowValve.process`) over a
+  deterministic two-tenant schedule with phases that exercise weighted
+  sharing, specialized tail drop, and shadow-bucket borrowing;
+* **nic** — the full DES pipeline (workers, reorder, Tx ring, wire) on
+  the Fig. 11(a) motivation policy with backlogged senders, capturing
+  the interleaved delivery/drop order seen at the edges of the NIC.
+
+Regenerate (only when a change is *supposed* to alter behaviour) with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core import FlowValve
+from repro.core.sched_tree import SchedulingParams
+from repro.experiments.base import ScaledSetup, _scale_demand
+from repro.experiments.policies import motivation_policy
+from repro.experiments.workloads import motivation_demands
+from repro.core.frontend import FlowValveFrontend
+from repro.host import FixedRateSender
+from repro.net import FiveTuple, PacketFactory, PacketSink
+from repro.nic import NicPipeline
+from repro.sim import Simulator
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+SOFTWARE_POLICY = """
+fv qdisc add dev eth0 root handle 1: fv default 0
+fv class add dev eth0 parent 1: classid 1:1 fv rate 100mbit ceil 100mbit
+fv class add dev eth0 parent 1:1 classid 1:10 fv weight 2 borrow 1:20
+fv class add dev eth0 parent 1:1 classid 1:20 fv weight 1 borrow 1:10
+fv filter add dev eth0 parent 1: match app=tenantA flowid 1:10
+fv filter add dev eth0 parent 1: match app=tenantB flowid 1:20
+"""
+
+
+def run_software_trace() -> dict:
+    """Two tenants, three phases (both on / A idle, B borrows / A back).
+
+    Tenant B offers 60 Mbit against a 33 Mbit share, so its excess is
+    red: dropped while A is active (specialized tail drop), forwarded
+    on borrowed tokens while A is idle and its shadow fills.
+    """
+    valve = FlowValve.from_script(
+        SOFTWARE_POLICY,
+        link_rate_bps=100e6,
+        params=SchedulingParams(update_interval=0.01, expire_after=0.05),
+    )
+    factory = PacketFactory()
+    flows = {
+        "tenantA": FiveTuple("10.0.0.1", "10.0.1.1", 40001, 5001),
+        "tenantB": FiveTuple("10.0.0.2", "10.0.1.1", 40002, 5001),
+    }
+    size = 1500
+    wire_bits = (size + 20) * 8
+    intervals = {"tenantA": wire_bits / 30e6, "tenantB": wire_bits / 60e6}
+    records = []
+    clock = {app: 0.0 for app in flows}
+    for _ in range(30000):
+        app = min(clock, key=lambda a: (clock[a], a))
+        t = clock[app]
+        if t >= 1.8:
+            break
+        clock[app] = t + intervals[app]
+        if app == "tenantA" and 0.6 <= t < 1.2:
+            continue  # tenant A idle in the middle phase
+        packet = factory.make(size, flows[app], t, app=app)
+        verdict = valve.process(packet, t)
+        records.append(f"{packet.seq}:{verdict.value}")
+    stats = valve.stats
+    return {
+        "digest": hashlib.sha256("|".join(records).encode()).hexdigest(),
+        "decisions": stats.decisions,
+        "forwarded": stats.forwarded,
+        "dropped": stats.dropped,
+        "borrowed": stats.forwarded_on_borrowed_tokens,
+        "borrow_matrix": sorted(
+            f"{b}->{l}={n}" for (b, l), n in stats.borrow_matrix.items()
+        ),
+    }
+
+
+def run_nic_trace() -> dict:
+    """Fig. 11(a) motivation workload on the full NIC pipeline, shrunk
+    to a test-sized duration that still covers the NC-solo phase and
+    the four-way contention phase (drops + update races)."""
+    setup = ScaledSetup(nominal_link_bps=10e9, scale=2000.0, wire_bps=10e9)
+    duration = 18.0
+    sim = Simulator(seed=setup.seed)
+    policy = motivation_policy(setup.link_bps)
+    frontend = FlowValveFrontend(
+        policy, link_rate_bps=setup.link_bps, params=setup.sched_params()
+    )
+    records = []
+    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
+
+    def receive(packet):
+        records.append(f"rx:{packet.seq}")
+        sink.receive(packet)
+
+    def on_drop(packet):
+        records.append(f"drop:{packet.seq}:{packet.drop_reason.value}")
+
+    nic = NicPipeline.with_flowvalve(
+        sim, setup.nic_config(), frontend, receiver=receive, on_drop=on_drop
+    )
+    factory = PacketFactory()
+    demands = motivation_demands(setup.nominal_link_bps)
+    for index, (app, demand) in enumerate(sorted(demands.items())):
+        FixedRateSender(
+            sim,
+            app,
+            factory,
+            nic.submit,
+            rate_bps=setup.sender_rate(),
+            packet_size=1500,
+            demand=_scale_demand(demand, setup.scale),
+            vf_index=index,
+            jitter=0.1,
+            rng=sim.random.stream(app),
+        )
+    sim.run(until=duration)
+    return {
+        "digest": hashlib.sha256("|".join(records).encode()).hexdigest(),
+        "submitted": nic.submitted,
+        "forwarded": nic.forwarded,
+        "dropped": nic.dropped,
+        "delivered": sink.total_packets,
+        "final_time": sim.now,
+    }
+
+
+def _check(kind: str, result: dict) -> None:
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        golden = {}
+        if GOLDEN_PATH.exists():
+            golden = json.loads(GOLDEN_PATH.read_text())
+        golden[kind] = result
+        GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+        return
+    golden = json.loads(GOLDEN_PATH.read_text())[kind]
+    assert result == golden, (
+        f"{kind} trace diverged from the seed-recorded golden trace.\n"
+        f"got:    {result}\ngolden: {golden}\n"
+        "If this change is *intended* to alter scheduling behaviour, "
+        "regenerate with REGEN_GOLDEN=1 and explain why in the PR."
+    )
+
+
+def test_software_mode_golden_trace():
+    _check("software", run_software_trace())
+
+
+def test_nic_pipeline_golden_trace():
+    _check("nic", run_nic_trace())

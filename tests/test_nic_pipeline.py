@@ -144,3 +144,95 @@ class TestReorderedEgress:
         sim.run(until=0.002)
         assert order == sorted(order)
         assert len(order) > 100
+
+
+class TestDropAccounting:
+    """``_drop`` tallies every discard under the *caller's* reason.
+
+    Regression tests for a bug where an already-marked packet's drop
+    was tallied under its stale ``packet.drop_reason`` instead of the
+    reason the current stage dropped it for.
+    """
+
+    @staticmethod
+    def _nic(sim, **cfg_kwargs):
+        sink = PacketSink(sim, record_delays=False)
+        nic = NicPipeline(sim, NicConfig(**cfg_kwargs), ForwardAllApp(), receiver=sink.receive)
+        return nic, sink
+
+    @staticmethod
+    def _packet(app="A"):
+        factory = PacketFactory()
+        return factory.make(64, FiveTuple("10.0.0.1", "10.0.1.1", 1, 2), 0.0, app=app)
+
+    def test_unmarked_drop_tallies_passed_reason(self):
+        sim = Simulator(seed=1)
+        nic, _ = self._nic(sim)
+        packet = self._packet()
+        nic._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
+        assert nic.dropped == 1
+        assert nic.drops_by_reason[DropReason.NO_BUFFER] == 1
+        assert packet.dropped
+        assert packet.drop_reason is DropReason.NO_BUFFER
+
+    def test_marked_packet_keeps_mark_but_counts_under_new_reason(self):
+        # A packet marked by an earlier stage (e.g. the scheduler) that
+        # is then discarded by a later stage for a *different* reason
+        # must keep its original mark, while the tally records what
+        # actually killed it here.
+        sim = Simulator(seed=1)
+        nic, _ = self._nic(sim)
+        packet = self._packet()
+        packet.mark_dropped(DropReason.SCHED_RED)
+        nic._drop(packet, DropReason.QUEUE_FULL, release_buffer=False, already_marked=True)
+        assert nic.drops_by_reason[DropReason.QUEUE_FULL] == 1
+        assert nic.drops_by_reason[DropReason.SCHED_RED] == 0
+        assert packet.drop_reason is DropReason.SCHED_RED
+
+    def test_already_marked_flag_with_unmarked_packet_still_marks(self):
+        # Defensive path: callers pass already_marked=True for packets
+        # that *should* carry a mark; if one slips through unmarked it
+        # gets marked with the caller's reason rather than left clean.
+        sim = Simulator(seed=1)
+        nic, _ = self._nic(sim)
+        packet = self._packet()
+        nic._drop(packet, DropReason.QUEUE_FULL, release_buffer=False, already_marked=True)
+        assert packet.drop_reason is DropReason.QUEUE_FULL
+        assert nic.drops_by_reason[DropReason.QUEUE_FULL] == 1
+
+    def test_ingress_no_buffer_drops_end_to_end(self):
+        sim = Simulator(seed=1)
+        nic, _ = self._nic(sim, buffer_count=4)
+        factory = PacketFactory()
+        flow = FiveTuple("10.0.0.1", "10.0.1.1", 1, 2)
+        accepted = sum(
+            nic.submit(factory.make(64, flow, 0.0, app="A")) for _ in range(10)
+        )
+        assert accepted == 4
+        assert nic.drops_by_reason[DropReason.NO_BUFFER] == 6
+        assert nic.dropped == 6
+
+    def test_sched_drops_tally_under_sched_red(self):
+        # Worker-path drops of scheduler-marked packets land under the
+        # mark's reason (caller passes the packet's own reason there).
+        sim = Simulator(seed=1)
+        nic, _, _ = build_flowvalve_nic(sim, link=1e9)
+        blast(sim, nic, "A", pps=5e6, duration=0.002, size=1500)
+        sim.run(until=0.003)
+        assert nic.drops_by_reason[DropReason.SCHED_RED] > 0
+        tallied = sum(nic.drops_by_reason.values())
+        assert tallied == nic.dropped
+
+    def test_on_drop_hook_sees_every_discard(self):
+        sim = Simulator(seed=1)
+        seen = []
+        nic = NicPipeline(
+            sim, NicConfig(buffer_count=2), ForwardAllApp(),
+            receiver=lambda p: None, on_drop=seen.append,
+        )
+        factory = PacketFactory()
+        flow = FiveTuple("10.0.0.1", "10.0.1.1", 1, 2)
+        for _ in range(5):
+            nic.submit(factory.make(64, flow, 0.0, app="A"))
+        assert len(seen) == 3
+        assert all(p.drop_reason is DropReason.NO_BUFFER for p in seen)

@@ -1,0 +1,242 @@
+"""Run-loop semantics the optimized kernel must preserve.
+
+The event loop in :meth:`Simulator.run` merges three lanes — the
+zero-delay FIFO, heap-resident :class:`Event` entries, and bare
+process-resume tuples (the "resume lane") — so these tests pin down
+the contracts an optimization could silently break: ``until`` tiling,
+``stop()`` from inside a callback, and strict ``(time, seq)`` FIFO
+order across all three lanes at equal timestamps.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestRunUntilTiling:
+    def test_back_to_back_runs_tile_cleanly(self):
+        sim = Simulator()
+        fired = []
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule(t, fired.append, t)
+        assert sim.run(until=1.0) == 1.0
+        assert fired == [0.5]
+        assert sim.now == 1.0
+        assert sim.run(until=2.0) == 2.0
+        assert fired == [0.5, 1.5]
+        assert sim.run(until=3.0) == 3.0
+        assert fired == [0.5, 1.5, 2.5]
+
+    def test_clock_clamps_to_until_with_empty_queue(self):
+        sim = Simulator()
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "at-horizon")
+        sim.run(until=1.0)
+        assert fired == ["at-horizon"]
+
+    def test_event_past_until_stays_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "later")
+        sim.run(until=1.0)
+        assert fired == []
+        assert sim.pending_events == 1
+        sim.run(until=2.0)
+        assert fired == ["later"]
+
+    def test_process_delay_respects_horizon(self):
+        # Process delay-yields travel the resume lane (bare heap
+        # tuples), which must honor the horizon like Event entries.
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield 2.0
+            trace.append(("resumed", sim.now))
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert trace == [("start", 0.0)]
+        sim.run(until=3.0)
+        assert trace == [("start", 0.0), ("resumed", 2.0)]
+
+
+class TestStopInsideCallback:
+    def test_stop_halts_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, lambda: (fired.append("stop"), sim.stop()))
+        sim.schedule(3.0, fired.append, "c")
+        end = sim.run()
+        assert fired == ["a", "stop"]
+        assert end == 2.0
+
+    def test_stop_does_not_clamp_to_until(self):
+        # A stopped run reports the stop time, not the horizon.
+        sim = Simulator()
+        sim.schedule(1.0, sim.stop)
+        assert sim.run(until=10.0) == 1.0
+        assert sim.now == 1.0
+
+    def test_run_resumes_after_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, fired.append, "after")
+        sim.run()
+        assert fired == []
+        sim.run()
+        assert fired == ["after"]
+
+    def test_stop_halts_same_timestamp_zero_delay_events(self):
+        # stop() wins even against zero-delay work queued by the same
+        # callback: run-to-completion of the callback, then halt.
+        sim = Simulator()
+        fired = []
+
+        def stopper():
+            sim.schedule(0.0, fired.append, "chained")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.run()
+        assert fired == []
+        sim.run()
+        assert fired == ["chained"]
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1 and "re-entrant" in errors[0]
+
+
+class TestEqualTimestampOrdering:
+    def test_zero_delay_events_fire_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for tag in range(8):
+            sim.schedule(0.0, order.append, tag)
+        sim.run()
+        assert order == list(range(8))
+
+    def test_zero_delay_chain_preserves_schedule_order(self):
+        # Zero-delay events scheduled *from a callback* run after the
+        # callback returns, in the order they were scheduled, before
+        # any later-timestamp work.
+        sim = Simulator()
+        order = []
+
+        def root():
+            order.append("root")
+            sim.schedule(0.0, order.append, "first")
+            sim.schedule(0.0, order.append, "second")
+
+        sim.schedule(1.0, root)
+        sim.schedule(1.0, order.append, "sibling")
+        sim.schedule(2.0, order.append, "later")
+        sim.run()
+        assert order == ["root", "sibling", "first", "second", "later"]
+
+    def test_heap_and_nowq_merge_by_seq_at_equal_time(self):
+        # A positive-delay event landing at time T and zero-delay
+        # events scheduled at T must interleave in seq order exactly as
+        # a single priority queue would order them.
+        sim = Simulator()
+        order = []
+
+        def at_one():
+            order.append("heap-1")  # seq 0
+            sim.schedule(0.0, order.append, "nowq-a")  # seq 2
+            sim.schedule(0.0, order.append, "nowq-b")  # seq 3
+
+        sim.schedule(1.0, at_one)
+        sim.schedule(1.0, order.append, "heap-2")  # seq 1
+        sim.run()
+        assert order == ["heap-1", "heap-2", "nowq-a", "nowq-b"]
+
+    def test_processes_and_events_interleave_by_schedule_order(self):
+        # Resume-lane tuples carry the same global seq counter as
+        # Events. A process's resume seq is assigned when the
+        # generator *reaches* its yield — via the zero-delay kick-off,
+        # after all creation-time schedules — so the Event at t=1
+        # (scheduled earlier) fires first, then the two process
+        # resumes in start order.
+        sim = Simulator()
+        order = []
+
+        def sleeper(tag):
+            yield 1.0
+            order.append(tag)
+
+        sim.process(sleeper("proc-a"))
+        sim.schedule(1.0, order.append, "event")
+        sim.process(sleeper("proc-b"))
+        sim.run()
+        assert order == ["event", "proc-a", "proc-b"]
+
+    def test_cancelled_events_skipped_in_both_lanes(self):
+        sim = Simulator()
+        order = []
+        zero = sim.schedule(0.0, order.append, "zero")
+        late = sim.schedule(1.0, order.append, "late")
+        sim.schedule(0.0, order.append, "kept-zero")
+        sim.schedule(1.0, order.append, "kept-late")
+        zero.cancel()
+        late.cancel()
+        sim.run()
+        assert order == ["kept-zero", "kept-late"]
+
+    def test_step_drains_same_order_as_run(self):
+        # step() goes through EventQueue.pop() (which re-wraps resume
+        # tuples into Events) — it must visit work in the same order
+        # the inlined run() loop would.
+        def build():
+            sim = Simulator()
+            order = []
+
+            def proc():
+                yield 0.5
+                order.append("proc")
+                sim.schedule(0.0, order.append, "chained")
+
+            sim.process(proc())
+            sim.schedule(0.5, order.append, "event")
+            sim.schedule(1.0, order.append, "late")
+            return sim, order
+
+        sim_run, order_run = build()
+        sim_run.run()
+        sim_step, order_step = build()
+        while sim_step.step():
+            pass
+        assert order_step == order_run == ["event", "proc", "chained", "late"]
+
+    def test_events_executed_counts_all_lanes(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.5  # resume lane
+            yield 0.0  # zero-delay lane
+
+        sim.process(proc())  # +1 initial kick-off event
+        sim.schedule(1.0, lambda: None)  # +1 heap event
+        sim.run()
+        # kick-off + resume + zero-delay resume + heap event
+        assert sim.events_executed == 4
