@@ -62,6 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulated seconds (default 10)")
     simulate.add_argument("--packet-size", type=int, default=1500,
                           help="frame size in bytes (default 1500)")
+    simulate.add_argument(
+        "--nic", action="store_true",
+        help="run the full DES NIC pipeline (workers, reorder, Tx ring, "
+             "wire) instead of the software-mode what-if loop",
+    )
+    simulate.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the structured event trace as JSONL (implies --nic)",
+    )
+    simulate.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write periodic metrics snapshots as JSONL (implies --nic)",
+    )
+    simulate.add_argument(
+        "--trace-limit", type=int, default=0,
+        help="cap on stored trace records, oldest evicted (0 = unlimited)",
+    )
+    simulate.add_argument(
+        "--scale", type=float, default=100.0,
+        help="rate-scale divisor for --nic runs (default 100; see DESIGN.md §1)",
+    )
+    simulate.add_argument("--seed", type=int, default=7,
+                          help="simulation seed for --nic runs (default 7)")
     return parser
 
 
@@ -107,6 +130,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     policy = _load_policy(args.script)
     link = parse_rate(args.link)
     demands = _parse_apps(args.app)
+    if args.nic or args.trace or args.metrics:
+        # Observability lives in the DES pipeline (queues, workers,
+        # traffic manager), so --trace/--metrics imply --nic.
+        return _cmd_simulate_nic(args, policy, link, demands)
     # Scale the update epochs so each holds a healthy packet count at
     # the requested link rate.
     pps = link / ((args.packet_size + 20) * 8)
@@ -146,6 +173,76 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     total = sum(forwarded.values()) * size_bits / elapsed
     print(f"  {'total':>8s}: {format_rate(total):>12s}")
+    return 0
+
+
+def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Dict[str, float]) -> int:
+    """``fv simulate --nic``: the full DES pipeline, rate-scaled.
+
+    Runs the same assembly the figure reproductions use (senders → NIC
+    pipeline → sink) and optionally dumps the raw observability streams
+    (``--trace``: per-event JSONL; ``--metrics``: periodic registry
+    snapshots) that the achieved-rate report is computed from.
+    """
+    from .experiments.base import ScaledSetup, _scale_demand
+    from .core.frontend import FlowValveFrontend
+    from .host import FixedRateSender
+    from .net import PacketFactory, PacketSink
+    from .nic import NicPipeline
+    from .sim import Simulator, Tracer
+    from .stats.metrics import MetricsRegistry, MetricsSampler
+
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive, got {args.scale}")
+    tracer = Tracer(limit=args.trace_limit) if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
+    setup = ScaledSetup(nominal_link_bps=link, scale=args.scale, wire_bps=link, seed=args.seed)
+    sim = Simulator(seed=setup.seed, tracer=tracer, metrics=registry)
+    frontend = FlowValveFrontend(policy, link_rate_bps=setup.link_bps, params=setup.sched_params())
+    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
+    nic = NicPipeline.with_flowvalve(sim, setup.nic_config(), frontend, receiver=sink.receive)
+    factory = PacketFactory()
+    for index, app in enumerate(sorted(demands)):
+        FixedRateSender(
+            sim, app, factory, nic.submit,
+            rate_bps=setup.sender_rate(),
+            packet_size=args.packet_size,
+            demand=_scale_demand(lambda t, rate=demands[app]: rate, setup.scale),
+            vf_index=index,
+            jitter=0.1,
+            rng=sim.random.stream(app),
+        )
+    sampler = None
+    if registry is not None and args.duration > 0:
+        sampler = MetricsSampler(sim, registry, interval=args.duration / 100.0)
+    sim.run(until=args.duration)
+
+    elapsed = args.duration if args.duration > 0 else float("inf")
+    print(
+        f"simulated {args.duration:.1f}s at link {format_rate(link)} "
+        f"(nic mode, scale=1/{setup.scale:g}, seed={setup.seed}):"
+    )
+    for app in sorted(demands):
+        achieved = sink.bytes[app] * 8 / elapsed * setup.scale
+        print(
+            f"  {app:>8s}: offered {format_rate(demands[app]):>12s}"
+            f"  achieved {format_rate(achieved):>12s}"
+        )
+    total = sink.total_bytes * 8 / elapsed * setup.scale
+    print(f"  {'total':>8s}: {format_rate(total):>12s}")
+    print(f"  {nic.stats_summary()}")
+    if tracer is not None:
+        count = tracer.to_jsonl(args.trace)
+        print(f"  trace: {count} records -> {args.trace}")
+    if registry is not None:
+        if sampler is not None:
+            sampler.sample()  # final snapshot at t=end
+            count = sampler.to_jsonl(args.metrics)
+        else:
+            from .stats.metrics import write_jsonl
+
+            count = write_jsonl(args.metrics, [{"time": sim.now, **registry.snapshot()}])
+        print(f"  metrics: {count} snapshots -> {args.metrics}")
     return 0
 
 

@@ -53,6 +53,16 @@ class FlowValveFrontend:
         )
         self.scheduler = SchedulingFunction(self.tree)
 
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Wire a tracer and/or metrics registry into the back end.
+
+        The NIC pipeline does this automatically from the simulator's
+        sinks; software-mode users (CLI, tests) call it directly.
+        Disabled or ``None`` sinks detach cleanly.
+        """
+        self.scheduler.attach_tracer(tracer)
+        self.tree.register_metrics(metrics)
+
     @classmethod
     def from_script(
         cls,

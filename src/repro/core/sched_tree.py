@@ -166,6 +166,7 @@ class ClassNode:
         "forwarded_bits",
         "borrowed_bits",
         "lent_bits",
+        "tracer",
         "_leaves",
     )
 
@@ -209,6 +210,8 @@ class ClassNode:
         self.forwarded_bits = 0.0
         self.borrowed_bits = 0.0
         self.lent_bits = 0.0
+        #: Enabled tracer or None; set via SchedulingTree.attach_tracer.
+        self.tracer = None
         #: Memoised leaf_descendants() result (tree is static after
         #: construction; borrowing queries this on every red packet).
         self._leaves: Optional[List[ClassNode]] = None
@@ -287,6 +290,20 @@ class ClassNode:
         self.shadow.rate_bps = max(0.0, theta - self.gamma_rate)
         self.last_update = now
         self.updates += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "core.sched",
+                "rate_update",
+                classid=self.classid,
+                theta=theta,
+                gamma=raw_gamma,
+                gamma_rate=self.gamma_rate,
+                shadow_transfer=excess,
+                lendable_rate=self.shadow.rate_bps,
+                epoch=self.updates,
+            )
 
     def end_update(self) -> None:
         """Release the update try-lock."""
@@ -309,6 +326,8 @@ class ClassNode:
         self.gamma_peak = 0.0
         self.shadow.drain()
         self.shadow.rate_bps = 0.0
+        if self.tracer is not None:
+            self.tracer.emit(now, "core.sched", "expire", classid=self.classid)
 
     # ------------------------------------------------------------------
     def count_forwarded(self, size_bits: float, observe_gamma: bool = True) -> None:
@@ -471,6 +490,35 @@ class SchedulingTree:
     def leaves(self) -> List[ClassNode]:
         """All leaf classes."""
         return [n for n in self.nodes if n.is_leaf]
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Point every class node at *tracer* for update-epoch events.
+
+        A disabled tracer (``tracer.enabled`` false) detaches instead:
+        nodes hold ``None`` and :meth:`ClassNode.perform_update` skips
+        payload construction with a single identity check, keeping the
+        per-epoch hot path free of observability cost by default.
+        """
+        active = tracer if (tracer is not None and tracer.enabled) else None
+        for node in self.nodes:
+            node.tracer = active
+
+    def register_metrics(self, registry) -> None:
+        """Register per-class probes (θ, Γ, lifetime counters) on an
+        enabled :class:`~repro.stats.metrics.MetricsRegistry`."""
+        if registry is None or not registry.enabled:
+            return
+        for node in self.nodes:
+            prefix = f"sched.{node.classid}"
+            registry.probe(f"{prefix}.theta_bps", lambda n=node: n.theta)
+            registry.probe(f"{prefix}.gamma_bps", lambda n=node: n.gamma_rate)
+            registry.probe(f"{prefix}.forwarded_packets", lambda n=node: n.forwarded_packets)
+            registry.probe(f"{prefix}.borrowed_bits", lambda n=node: n.borrowed_bits)
+            registry.probe(f"{prefix}.lent_bits", lambda n=node: n.lent_bits)
+            registry.probe(f"{prefix}.updates", lambda n=node: n.updates)
 
     def prime(self, now: float = 0.0) -> None:
         """Initialise every θ top-down so the first packets see sane

@@ -70,6 +70,17 @@ class SchedulingFunction:
         self.stats = SchedulingStats()
         #: Label-tuple → node-path memo (one entry per leaf class).
         self.path_cache = PathCache()
+        #: Enabled tracer or None (see :meth:`attach_tracer`).
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire *tracer* into this function and its scheduling tree.
+
+        Disabled tracers detach (store ``None``), so every emission
+        site stays a single identity check when observability is off.
+        """
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self.tree.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     # granular steps (embedded mode)
@@ -145,6 +156,13 @@ class SchedulingFunction:
                 self.update_step(leaf_lender, now)
                 if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
                     leaf_lender.lent_bits += size_bits
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            now, "core.sched", "borrow",
+                            borrower=packet.hierarchy_label[-1],
+                            lender=leaf_lender.classid,
+                            bits=size_bits,
+                        )
                     return leaf_lender
         return None
 
@@ -227,6 +245,12 @@ class SchedulingFunction:
             if borrowed_from is None:
                 self.stats.dropped += 1
                 packet.mark_dropped(DropReason.SCHED_RED)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now, "core.sched", "drop",
+                        reason=DropReason.SCHED_RED.value,
+                        classid=leaf.classid, app=packet.app, size=packet.size,
+                    )
                 return Verdict.DROP
         # Both Γ modes run the same forwarding accounting; offered mode
         # already counted Γ at arrival, so commit() only skips that.

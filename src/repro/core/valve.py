@@ -75,6 +75,10 @@ class FlowValve:
         """Scheduling statistics."""
         return self.frontend.scheduler.stats
 
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Wire a tracer / metrics registry into the scheduling core."""
+        self.frontend.attach_observability(tracer, metrics)
+
     # ------------------------------------------------------------------
     def process(self, packet: Packet, now: float) -> Verdict:
         """Label then schedule one packet; the packet is marked dropped

@@ -179,14 +179,28 @@ def run_flowvalve_timeline(
     title: str = "FlowValve timeline",
     packet_size: int = 1500,
     params: Optional[SchedulingParams] = None,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    trace_limit: int = 0,
 ) -> TimelineResult:
     """Run FlowValve on the simulated NIC against backlogged senders.
 
     ``demands`` give each app's *offered* load in nominal bit/s over
     time (0 = idle); senders blast at the scaled equivalent and the
     scheduler enforces the policy.
+
+    ``trace_path``/``metrics_path`` dump the raw observability streams
+    the figure was computed from: the full structured event trace
+    (drops, verdicts, rate updates, queue depths) and one metrics
+    snapshot per reporting bin, both as JSONL. When omitted (the
+    default) the run uses the no-op sinks and pays zero overhead.
     """
-    sim = Simulator(seed=setup.seed)
+    from ..sim import Tracer
+    from ..stats.metrics import MetricsRegistry, MetricsSampler
+
+    tracer = Tracer(limit=trace_limit) if trace_path else None
+    registry = MetricsRegistry() if metrics_path else None
+    sim = Simulator(seed=setup.seed, tracer=tracer, metrics=registry)
     sched = params if params is not None else setup.sched_params()
     frontend = FlowValveFrontend(policy, link_rate_bps=setup.link_bps, params=sched)
     sink = PacketSink(sim, rate_window=1.0, record_delays=False)
@@ -206,10 +220,21 @@ def run_flowvalve_timeline(
             jitter=0.1,
             rng=sim.random.stream(app),
         )
+    sampler = None
+    if registry is not None:
+        sampler = MetricsSampler(sim, registry, interval=bin_seconds)
     sim.run(until=duration)
+    notes = f"scale=1/{setup.scale:.0f}, drops={nic.dropped}/{nic.submitted}"
+    if tracer is not None:
+        count = tracer.to_jsonl(trace_path)
+        notes += f", trace={count} records -> {trace_path}"
+    if sampler is not None:
+        sampler.sample()  # final snapshot at t=duration
+        count = sampler.to_jsonl(metrics_path)
+        notes += f", metrics={count} snapshots -> {metrics_path}"
     return _collect_timeline(
         sink, sorted(demands), duration, bin_seconds, setup.scale, title,
-        notes=f"scale=1/{setup.scale:.0f}, drops={nic.dropped}/{nic.submitted}",
+        notes=notes,
     )
 
 

@@ -56,6 +56,14 @@ class PacketSink:
         self._rate_window = rate_window
         self.total_packets = 0
         self.total_bytes = 0
+        # Observability: one identity check per delivery when off.
+        tracer = sim.tracer
+        self._trace = tracer if tracer.enabled else None
+        if sim.metrics.enabled:
+            sim.metrics.probe("sink.total_packets", lambda: self.total_packets)
+            sim.metrics.probe("sink.total_bytes", lambda: self.total_bytes)
+            sim.metrics.probe("sink.packets_by_app", lambda: dict(self.packets))
+            sim.metrics.probe("sink.bytes_by_app", lambda: dict(self.bytes))
 
     def receive(self, packet: Packet) -> None:
         """Account one delivered frame. Wire this to ``Link.receiver``."""
@@ -75,6 +83,12 @@ class PacketSink:
             delay = now - packet.created_at
             self.delays.append(delay)
             self.delays_by_app[app].append(delay)
+        if self._trace is not None:
+            self._trace.emit(
+                now, "net.sink", "deliver",
+                app=app, size=size,
+                delay=(now - packet.created_at) if packet.created_at >= 0 else None,
+            )
         if self.on_delivery is not None:
             self.on_delivery(packet)
 

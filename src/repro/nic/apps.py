@@ -75,6 +75,10 @@ class FlowValveNicApp(NicApp):
         super().bind(pipeline)
         if pipeline.config.lock_mode in ("global_block", "sequential"):
             self._global_lock = Lock(pipeline.sim, name="sched-tree-global")
+        # Thread the simulator's observability sinks through the shared
+        # scheduling objects (no-ops detach, keeping the hot path bare).
+        self.scheduler.attach_tracer(pipeline.sim.tracer)
+        self.scheduler.tree.register_metrics(pipeline.sim.metrics)
 
     # ------------------------------------------------------------------
     def _cycles(self, n: int) -> float:
@@ -207,6 +211,13 @@ class FlowValveNicApp(NicApp):
                             yield cycles(costs.borrow_query)
                         if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
                             leaf_lender.lent_bits += size_bits
+                            if scheduler.tracer is not None:
+                                scheduler.tracer.emit(
+                                    sim._now, "core.sched", "borrow",
+                                    borrower=path[-1].classid,
+                                    lender=leaf_lender.classid,
+                                    bits=size_bits,
+                                )
                             borrowed_from = leaf_lender
                             break
                     if borrowed_from is not None:
@@ -305,6 +316,13 @@ class FlowValveNicApp(NicApp):
                             yield cycles(costs.borrow_query)
                         if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
                             leaf_lender.lent_bits += size_bits
+                            if scheduler.tracer is not None:
+                                scheduler.tracer.emit(
+                                    sim._now, "core.sched", "borrow",
+                                    borrower=path[-1].classid,
+                                    lender=leaf_lender.classid,
+                                    bits=size_bits,
+                                )
                             borrowed_from = leaf_lender
                             break
                     if borrowed_from is not None:

@@ -68,12 +68,37 @@ class NicPipeline:
         self.traffic_manager = TrafficManager(sim, self.tx_ring, self.link, on_sent=self._on_sent)
         self.dispatch = Store(sim, capacity=config.dispatch_depth, name="nic-dispatch")
         self.buffers = BufferPool(sim, config.buffer_count, config.buffer_recycle_delay)
-        self.reorder = ReorderBuffer(self._emit_to_tx) if config.reorder_enabled else None
+        self.reorder = ReorderBuffer(self._emit_to_tx, sim=sim) if config.reorder_enabled else None
         # --- statistics ------------------------------------------------
         self.submitted = 0
         self.forwarded = 0
         self.dropped = 0
         self.drops_by_reason = {reason: 0 for reason in DropReason}
+        # --- observability ---------------------------------------------
+        # The enabled tracer, or None: every emission site is a single
+        # identity check when observability is off (the default), so
+        # the PR-1 hot-path wins hold.
+        tracer = sim.tracer
+        self._trace = tracer if tracer.enabled else None
+        metrics = sim.metrics
+        if metrics.enabled:
+            metrics.probe("nic.submitted", lambda: self.submitted)
+            metrics.probe("nic.forwarded", lambda: self.forwarded)
+            metrics.probe("nic.dropped", lambda: self.dropped)
+            metrics.probe("nic.dispatch.depth", lambda: len(self.dispatch))
+            metrics.probe("nic.tx_ring.depth", lambda: len(self.tx_ring))
+            metrics.probe("nic.tx_ring.max_occupancy", lambda: self.tx_ring.max_occupancy)
+            metrics.probe("nic.buffers.free", lambda: self.buffers.free)
+            metrics.probe("nic.buffers.min_free", lambda: self.buffers.min_free)
+            if self.reorder is not None:
+                metrics.probe("nic.reorder.in_flight", lambda: self.reorder.in_flight)
+                metrics.probe("nic.reorder.parked", lambda: self.reorder.parked)
+                metrics.probe("nic.reorder.max_parked", lambda: self.reorder.max_parked)
+            self._drop_counters = {
+                reason: metrics.counter(f"nic.drops.{reason.value}") for reason in DropReason
+            }
+        else:
+            self._drop_counters = None
         app.bind(self)
         self._workers = [sim.process(self._worker(i)) for i in range(config.n_workers)]
 
@@ -131,11 +156,19 @@ class NicPipeline:
         drop = self._drop
         fixed_overhead = self.config.seconds(self.config.costs.fixed_overhead)
         forward = Verdict.FORWARD
+        trace = self._trace
+        sim = self.sim
         while True:
             packet: Packet = yield dispatch_get()
             ticket = reorder.take_ticket() if reorder is not None else -1
             yield fixed_overhead
             verdict = yield from handle(packet)
+            if trace is not None:
+                trace.emit(
+                    sim._now, "nic.worker", "verdict",
+                    verdict=verdict.value, worker=worker_id,
+                    app=packet.app, size=packet.size,
+                )
             if verdict is forward:
                 if reorder is not None:
                     reorder.complete(ticket, packet)
@@ -176,6 +209,14 @@ class NicPipeline:
         # earlier stage that then hits a full Tx ring must count as a
         # queue_full drop, not under its stale mark.
         self.drops_by_reason[reason] += 1
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim._now, "nic.pipeline", "drop",
+                reason=reason.value, app=packet.app, size=packet.size,
+                marked=packet.drop_reason.value if packet.drop_reason is not None else None,
+            )
+        if self._drop_counters is not None:
+            self._drop_counters[reason].inc()
         if release_buffer:
             self.buffers.release()
         if self.on_drop is not None:

@@ -25,7 +25,7 @@ class ReorderBuffer:
     that should proceed to the Tx ring.
     """
 
-    def __init__(self, emit: Callable[[Packet], None]):
+    def __init__(self, emit: Callable[[Packet], None], sim=None):
         self._emit = emit
         self._next_ticket = 0
         self._next_release = 0
@@ -33,6 +33,12 @@ class ReorderBuffer:
         self._pending: Dict[int, Optional[Packet]] = {}
         #: Maximum number of completions parked waiting for a ticket.
         self.max_parked = 0
+        # Observability: only the out-of-order paths emit (parking and
+        # the catch-up release), so the common in-order fast path stays
+        # untouched even with tracing on.
+        self._sim = sim
+        tracer = sim.tracer if sim is not None else None
+        self._trace = tracer if (tracer is not None and tracer.enabled) else None
 
     def take_ticket(self) -> int:
         """Assign the next ingress sequence number."""
@@ -43,23 +49,41 @@ class ReorderBuffer:
     def complete(self, ticket: int, packet: Optional[Packet]) -> None:
         """Report a finished ticket; ``None`` means the packet was
         dropped and only frees the slot."""
-        if ticket == self._next_release and not self._pending:
-            # In-order completion with nothing parked — the common case
-            # — releases immediately without touching the dict.
-            self._next_release = ticket + 1
-            if packet is not None:
-                self._emit(packet)
-            return
         if ticket < self._next_release or ticket in self._pending:
             raise ValueError(f"ticket {ticket} completed twice")
-        self._pending[ticket] = packet
-        if len(self._pending) > self.max_parked:
-            self.max_parked = len(self._pending)
+        if ticket != self._next_release:
+            # Out of order: park until every earlier ticket completes.
+            # Only these completions count toward the watermark — a
+            # head-of-line completion never waits.
+            self._pending[ticket] = packet
+            if len(self._pending) > self.max_parked:
+                self.max_parked = len(self._pending)
+            if self._trace is not None:
+                self._trace.emit(
+                    self._sim._now, "nic.reorder", "park",
+                    ticket=ticket, parked=len(self._pending),
+                    in_flight=self._next_ticket - self._next_release,
+                )
+            return
+        # Head of line: release immediately (the common case touches
+        # neither the dict nor the tracer), then drain any parked run.
+        self._next_release = ticket + 1
+        if packet is not None:
+            self._emit(packet)
+        if not self._pending:
+            return
+        released_any = False
         while self._next_release in self._pending:
             released = self._pending.pop(self._next_release)
             self._next_release += 1
+            released_any = True
             if released is not None:
                 self._emit(released)
+        if released_any and self._trace is not None:
+            self._trace.emit(
+                self._sim._now, "nic.reorder", "release",
+                next_release=self._next_release, parked=len(self._pending),
+            )
 
     @property
     def in_flight(self) -> int:

@@ -36,6 +36,11 @@ class TrafficManager:
         self.on_sent = on_sent
         #: Frames handed to the MAC.
         self.frames_out = 0
+        tracer = sim.tracer
+        self._trace = tracer if tracer.enabled else None
+        if sim.metrics.enabled:
+            sim.metrics.probe("nic.tm.frames_out", lambda: self.frames_out)
+            sim.metrics.probe("nic.tm.queue_depth", lambda: len(self.tx_ring))
         self._process = sim.process(self._drain())
 
     def _drain(self):
@@ -46,10 +51,17 @@ class TrafficManager:
         modelled on the link's propagation side so it doesn't consume
         wire bandwidth.
         """
+        trace = self._trace
         while True:
             packet: Packet = yield self.tx_ring.get()
             self.frames_out += 1
             start = self.sim.now
+            if trace is not None:
+                trace.emit(
+                    start, "nic.tm", "queue_depth",
+                    depth=len(self.tx_ring), frames_out=self.frames_out,
+                    app=packet.app, size=packet.size,
+                )
             finish = self.link.send(packet)
             yield finish - start
             if self.on_sent is not None:

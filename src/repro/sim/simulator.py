@@ -6,6 +6,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..stats.metrics import MetricsRegistry, NullMetricsRegistry
 from .events import Event, EventQueue, SimEvent
 from .randomness import RandomStreams
 from .trace import NullTracer, Tracer
@@ -28,9 +29,18 @@ class Simulator:
     tracer:
         Optional :class:`~repro.sim.trace.Tracer` receiving structured
         trace records from instrumented components.
+    metrics:
+        Optional :class:`~repro.stats.metrics.MetricsRegistry`;
+        instrumented components register counters and probes on it.
+        Defaults to the no-op registry, which records nothing.
     """
 
-    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
@@ -41,6 +51,8 @@ class Simulator:
         self.random = RandomStreams(seed)
         #: Structured trace sink; NullTracer discards everything.
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        #: Metrics registry; the no-op default records nothing.
+        self.metrics: MetricsRegistry = metrics if metrics is not None else NullMetricsRegistry()
 
     # ------------------------------------------------------------------
     # time & scheduling

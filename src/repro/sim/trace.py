@@ -5,11 +5,17 @@ Components emit :class:`TraceRecord` tuples through the simulator's
 while :class:`NullTracer` (the default) discards everything at near
 zero cost. Traces back the per-figure experiment reports and are handy
 when debugging scheduling decisions packet by packet.
+
+Emitting sources and kinds used by the instrumented components are
+listed in DESIGN.md's "Observability" section; :meth:`Tracer.to_jsonl`
+exports the stream for offline analysis.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional
+import json
+from collections import deque
+from typing import Any, Callable, Deque, Iterator, List, NamedTuple, Optional
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
 
@@ -28,7 +34,7 @@ class TraceRecord(NamedTuple):
     time: float
     source: str
     kind: str
-    data: Dict[str, Any]
+    data: dict
 
 
 class Tracer:
@@ -42,7 +48,9 @@ class Tracer:
         use :meth:`wants`.
     limit:
         Hard cap on stored records (0 = unlimited); oldest beyond the
-        cap are discarded to bound memory in long runs.
+        cap are discarded to bound memory in long runs. The store is a
+        bounded :class:`collections.deque`, so eviction is O(1) per
+        record rather than an O(limit) list trim.
     """
 
     def __init__(
@@ -50,7 +58,7 @@ class Tracer:
         predicate: Optional[Callable[[str, str], bool]] = None,
         limit: int = 0,
     ):
-        self.records: List[TraceRecord] = []
+        self._records: Deque[TraceRecord] = deque(maxlen=limit if limit > 0 else None)
         self._predicate = predicate
         self._limit = limit
 
@@ -58,6 +66,14 @@ class Tracer:
     def enabled(self) -> bool:
         """True — this tracer stores records (see :class:`NullTracer`)."""
         return True
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Stored records, oldest first (a list snapshot of the store)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
 
     def wants(self, source: str, kind: str) -> bool:
         """Cheap pre-check so hot paths can skip building payloads."""
@@ -67,13 +83,11 @@ class Tracer:
         """Store one record (subject to the filter and the limit)."""
         if not self.wants(source, kind):
             return
-        self.records.append(TraceRecord(time, source, kind, data))
-        if self._limit and len(self.records) > self._limit:
-            del self.records[: len(self.records) - self._limit]
+        self._records.append(TraceRecord(time, source, kind, data))
 
     def select(self, source: Optional[str] = None, kind: Optional[str] = None) -> Iterator[TraceRecord]:
         """Iterate stored records matching *source* and/or *kind*."""
-        for record in self.records:
+        for record in self._records:
             if source is not None and record.source != source:
                 continue
             if kind is not None and record.kind != kind:
@@ -82,7 +96,30 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all stored records."""
-        self.records.clear()
+        self._records.clear()
+
+    def to_jsonl(self, path: str) -> int:
+        """Write every stored record as one JSON object per line.
+
+        Schema: ``{"time": float, "source": str, "kind": str,
+        "data": {...}}`` — the payload stays nested so its keys can
+        never collide with the envelope's. Returns the record count.
+        """
+        count = 0
+        with open(path, "w") as handle:
+            for record in self._records:
+                handle.write(json.dumps(
+                    {
+                        "time": record.time,
+                        "source": record.source,
+                        "kind": record.kind,
+                        "data": record.data,
+                    },
+                    sort_keys=True,
+                ))
+                handle.write("\n")
+                count += 1
+        return count
 
 
 class NullTracer(Tracer):

@@ -5,10 +5,26 @@ from .timeseries import TimeSeries, RateSeries
 from .rates import EwmaRate, WindowedRate
 from .latency import LatencySummary, summarize_latencies, percentile, jitter
 from .cpu import CoreUsage, CpuReport
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSampler,
+    NullMetricsRegistry,
+    write_jsonl,
+)
 from .perf import HotpathResult, measure_run
 from .report import Table, render_table, format_series
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "NullMetricsRegistry",
+    "write_jsonl",
     "HotpathResult",
     "measure_run",
     "TimeSeries",

@@ -35,9 +35,13 @@ class EwmaRate:
     def observe(self, time: float, amount: float) -> float:
         """Fold in *amount* units observed at *time*; returns the rate."""
         if self._last_time < 0:
+            # First sample: there is no previous arrival to measure an
+            # interval against, but discarding the amount would bias
+            # short-flow estimates low. Treat it as an impulse over the
+            # time constant, exactly like the same-instant branch.
             self._last_time = time
-            self._rate = 0.0
-            return 0.0
+            self._rate = amount / self.tau
+            return self._rate
         dt = time - self._last_time
         self._last_time = time
         if dt <= 0:

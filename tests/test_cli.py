@@ -1,5 +1,7 @@
 """Tests for the fv command-line tool."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -69,6 +71,52 @@ class TestSimulate:
 
     def test_rejects_malformed_app_spec(self, policy_file, capsys):
         assert main(["simulate", policy_file, "--app", "nonsense"]) == 1
+
+    def test_nic_mode_with_trace_and_metrics(self, tmp_path, capsys):
+        # The DES pipeline wants a policy whose rates justify scaling.
+        policy = tmp_path / "policy.fv"
+        policy.write_text(POLICY.replace("10mbit", "10gbit"))
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main([
+            "simulate", str(policy), "--link", "10gbit",
+            "--app", "A=9gbit", "--app", "B=9gbit",
+            "--duration", "5", "--scale", "500",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics:" in out
+        rows = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert rows, "trace JSONL must not be empty"
+        kinds = {(row["source"], row["kind"]) for row in rows}
+        assert ("nic.pipeline", "drop") in kinds
+        assert ("core.sched", "rate_update") in kinds
+        assert ("nic.tm", "queue_depth") in kinds
+        snapshots = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+        assert snapshots and snapshots[-1]["nic.submitted"] > 0
+        assert snapshots[-1]["time"] == pytest.approx(5.0)
+
+    def test_trace_implies_nic_mode(self, tmp_path, capsys):
+        policy = tmp_path / "policy.fv"
+        policy.write_text(POLICY.replace("10mbit", "10gbit"))
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "simulate", str(policy), "--link", "10gbit",
+            "--app", "A=9gbit", "--duration", "2", "--scale", "1000",
+            "--trace", str(trace_path), "--trace-limit", "50",
+        ])
+        assert code == 0
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == 50  # --trace-limit keeps the newest N
+
+    def test_nic_mode_rejects_bad_scale(self, policy_file, capsys):
+        code = main([
+            "simulate", policy_file, "--nic", "--app", "A=20mbit",
+            "--scale", "0",
+        ])
+        assert code == 1
+        assert "scale" in capsys.readouterr().err
 
     def test_achieved_rates_respect_policy(self, policy_file, capsys):
         main([

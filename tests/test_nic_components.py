@@ -134,6 +134,61 @@ class TestReorderBuffer:
         reorder.complete(t0, None)
         assert reorder.in_flight == 1
 
+    def test_drop_only_completions_advance_next_release(self, factory):
+        # A run of pure drops (None completions) must advance the
+        # release cursor so a later forward is emitted immediately.
+        released = []
+        reorder = ReorderBuffer(released.append)
+        tickets = [reorder.take_ticket() for _ in range(4)]
+        for ticket in tickets[:3]:
+            reorder.complete(ticket, None)
+        assert reorder._next_release == 3
+        assert released == []
+        p3 = make_packet(factory)
+        reorder.complete(tickets[3], p3)
+        assert released == [p3]
+        assert reorder.in_flight == 0
+
+    def test_out_of_order_drops_advance_through_parked_run(self, factory):
+        # Parked drop-only completions are swept past in one go once
+        # the head ticket arrives, advancing _next_release over the
+        # whole run without emitting anything for the drops.
+        released = []
+        reorder = ReorderBuffer(released.append)
+        t0, t1, t2, t3 = (reorder.take_ticket() for _ in range(4))
+        reorder.complete(t1, None)
+        reorder.complete(t2, None)
+        p3 = make_packet(factory)
+        reorder.complete(t3, p3)
+        assert released == [] and reorder.parked == 3
+        reorder.complete(t0, None)  # head drop releases the whole run
+        assert released == [p3]
+        assert reorder._next_release == 4
+        assert reorder.parked == 0
+
+    def test_double_complete_of_parked_ticket_rejected(self, factory):
+        reorder = ReorderBuffer(lambda p: None)
+        reorder.take_ticket()  # ticket 0 stays outstanding
+        t1 = reorder.take_ticket()
+        reorder.complete(t1, make_packet(factory))  # parks
+        with pytest.raises(ValueError):
+            reorder.complete(t1, None)
+
+    def test_max_parked_high_water_mark(self, factory):
+        released = []
+        reorder = ReorderBuffer(released.append)
+        tickets = [reorder.take_ticket() for _ in range(5)]
+        packets = [make_packet(factory) for _ in range(5)]
+        # Complete in reverse: 4, 3, 2, 1 park (watermark 4), then 0.
+        for ticket, packet in list(zip(tickets, packets))[:0:-1]:
+            reorder.complete(ticket, packet)
+        assert reorder.parked == 4
+        assert reorder.max_parked == 4
+        reorder.complete(tickets[0], packets[0])
+        assert released == packets
+        assert reorder.parked == 0
+        assert reorder.max_parked == 4  # watermark survives the drain
+
 
 class TestBufferPool:
     def test_allocate_release_cycle(self):

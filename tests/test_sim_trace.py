@@ -1,5 +1,8 @@
 """Tests for the structured tracing sink."""
 
+import json
+from collections import deque
+
 from repro.sim import NullTracer, Simulator, Tracer
 
 
@@ -44,6 +47,44 @@ class TestTracer:
     def test_enabled_flag(self):
         assert Tracer().enabled
         assert not NullTracer().enabled
+
+    def test_limit_store_is_bounded_deque(self):
+        # Regression: trimming used to run `del records[:n]` on every
+        # emit past the cap — O(limit) per record. The store must be a
+        # maxlen deque so eviction is O(1).
+        tracer = Tracer(limit=5)
+        assert isinstance(tracer._records, deque)
+        assert tracer._records.maxlen == 5
+        for i in range(100_000):
+            tracer.emit(float(i), "s", "k", i=i)
+        assert len(tracer) == 5
+        assert [r.data["i"] for r in tracer.records] == list(range(99_995, 100_000))
+
+    def test_unlimited_store_has_no_maxlen(self):
+        assert Tracer()._records.maxlen is None
+
+    def test_len_and_select_after_eviction(self):
+        tracer = Tracer(limit=2)
+        tracer.emit(1.0, "a", "x")
+        tracer.emit(2.0, "b", "y")
+        tracer.emit(3.0, "a", "x")
+        assert len(tracer) == 2
+        assert [r.time for r in tracer.select(source="a")] == [3.0]
+
+    def test_to_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(0.5, "nic.pipeline", "drop", reason="sched_red", size=1500)
+        tracer.emit(1.0, "core.sched", "rate_update", classid="1:10", theta=5e9)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.to_jsonl(str(path)) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {
+            "time": 0.5,
+            "source": "nic.pipeline",
+            "kind": "drop",
+            "data": {"reason": "sched_red", "size": 1500},
+        }
+        assert rows[1]["data"]["theta"] == 5e9
 
 
 class TestNullTracer:

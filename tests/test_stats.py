@@ -66,6 +66,42 @@ class TestRateSeries:
         with pytest.raises(ValueError):
             RateSeries(window=0.0)
 
+    def test_mean_rate_prorates_partial_tail_window(self):
+        # Regression: a steady 100 units/s stream stopped mid-bin used
+        # to report sum/whole-bins = 250/3 ≈ 83 over [0, 2.5) because
+        # the divisor counted the final bin in full.
+        rs = RateSeries(window=1.0)
+        t = 0.0
+        while t < 2.5:
+            rs.add(t, 10.0)  # 100 units/s
+            t += 0.1
+        assert rs.mean_rate(0.0, 2.5) == pytest.approx(100.0)
+        # Bin-aligned queries are unchanged by the fix.
+        assert rs.mean_rate(0.0, 2.0) == pytest.approx(100.0)
+
+    def test_mean_rate_prorates_mid_run_window(self):
+        # A mid-run window ending inside a *fully populated* bin takes
+        # that bin's amount pro-rata over the whole bin.
+        rs = RateSeries(window=1.0)
+        t = 0.0
+        while t < 4.0:
+            rs.add(t, 10.0)
+            t += 0.1
+        assert rs.mean_rate(0.0, 2.5) == pytest.approx(100.0, rel=0.01)
+        assert rs.mean_rate(1.5, 3.5) == pytest.approx(100.0, rel=0.01)
+
+    def test_add_rejects_negative_time(self):
+        # Regression: int(-0.25/0.1) == -2 used to land the amount in
+        # the *last* bin via Python negative indexing.
+        rs = RateSeries(window=0.1)
+        rs.add(0.05, 100.0)
+        rs.add(0.95, 100.0)
+        with pytest.raises(ValueError):
+            rs.add(-0.25, 100.0)
+        # The last bin is untouched by the rejected add.
+        assert rs.rate_at(0.95) == pytest.approx(1000.0)
+        assert rs.total == pytest.approx(200.0)
+
 
 class TestWindowedRate:
     def test_roll_computes_rate(self):
@@ -109,6 +145,24 @@ class TestEwmaRate:
     def test_bad_tau_rejected(self):
         with pytest.raises(ValueError):
             EwmaRate(tau=0.0)
+
+    def test_first_sample_counts_as_impulse(self):
+        # Regression: the first observe() used to return 0.0 and fold
+        # nothing in, biasing short-flow estimates low.
+        ewma = EwmaRate(tau=0.1)
+        rate = ewma.observe(1.0, 50.0)
+        assert rate == pytest.approx(50.0 / 0.1)
+        assert ewma.rate(1.0) == pytest.approx(500.0)
+
+    def test_first_sample_matches_same_instant_branch(self):
+        # The first sample must behave exactly like a same-instant
+        # arrival: amount/tau folded into the rate.
+        first = EwmaRate(tau=0.05)
+        first.observe(2.0, 30.0)
+        primed = EwmaRate(tau=0.05)
+        primed.observe(2.0, 0.0)   # establish last_time with no amount
+        primed.observe(2.0, 30.0)  # dt == 0 branch
+        assert first.rate(2.0) == pytest.approx(primed.rate(2.0))
 
 
 class TestLatency:
