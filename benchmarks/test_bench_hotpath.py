@@ -24,14 +24,7 @@ import os
 import pytest
 from conftest import run_once
 
-from repro.core import FlowValveFrontend
-from repro.experiments.base import ScaledSetup, _scale_demand
-from repro.experiments.policies import motivation_policy
-from repro.experiments.workloads import motivation_demands
-from repro.host import FixedRateSender
-from repro.net import PacketFactory, PacketSink
-from repro.nic import NicPipeline
-from repro.sim import Simulator
+from repro.experiments import hotpath
 from repro.stats.perf import measure_run, write_json
 
 #: v0 seed-code reference on this workload (commit c37e241, measured
@@ -49,37 +42,11 @@ EXPECTED_PACKETS = 179_154
 DURATION = 20.0
 
 
-def _build():
-    setup = ScaledSetup(nominal_link_bps=10e9, scale=200.0, wire_bps=10e9)
-    policy = motivation_policy(setup.link_bps)
-    demands = motivation_demands(setup.nominal_link_bps)
-    sim = Simulator(seed=setup.seed)
-    frontend = FlowValveFrontend(
-        policy, link_rate_bps=setup.link_bps, params=setup.sched_params()
-    )
-    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
-    nic = NicPipeline.with_flowvalve(
-        sim, setup.nic_config(), frontend, receiver=sink.receive
-    )
-    factory = PacketFactory()
-    for index, (app, demand) in enumerate(sorted(demands.items())):
-        FixedRateSender(
-            sim,
-            app,
-            factory,
-            nic.submit,
-            rate_bps=setup.sender_rate(),
-            packet_size=1500,
-            demand=_scale_demand(demand, setup.scale),
-            vf_index=index,
-            jitter=0.1,
-            rng=sim.random.stream(app),
-        )
-    return sim, nic
-
-
 def test_hotpath_events_and_packets_per_sec(benchmark, emit):
-    sim, nic = _build()
+    # The workload builder is shared with `fv campaign run hotpath`
+    # (repro.experiments.hotpath); construction order is part of the
+    # deterministic contract asserted below.
+    sim, nic = hotpath.build()
     result = run_once(
         benchmark,
         lambda: measure_run(

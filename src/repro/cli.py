@@ -11,28 +11,74 @@ replayed:
    $ fv simulate policy.fv --link 10gbit \\
         --app NC=2gbit --app WS=8gbit --duration 10
                                              # software-mode what-if run
+   $ fv campaign run fig13 --workers 4      # parallel experiment grid
+   $ fv campaign status --manifest campaign.manifest.jsonl
 
 ``simulate`` runs the policy in software mode against constant-rate
 app demands and prints the achieved rate per app — a quick what-if
-evaluator for policy authors.
+evaluator for policy authors. ``campaign`` fans registered experiment
+specs (``fv campaign list``) over a worker-process pool with caching,
+timeouts, and a JSONL manifest (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from .core import FlowValve
 from .core.scheduling import Verdict
 from .core.sched_tree import SchedulingParams
-from .errors import ReproError
+from .errors import ParseError, ReproError
 from .net import FiveTuple, PacketFactory
 from .tc.parser import parse_script
 from .tc.validate import validate_policy
 from .units import format_rate, parse_rate
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_MANIFEST = "campaign.manifest.jsonl"
+DEFAULT_CACHE_DIR = ".fv-cache"
+
+
+def _link_parent(explicit: bool = False) -> argparse.ArgumentParser:
+    """Shared ``--link`` flag. With ``explicit=True`` the flag has no
+    default, so only user-supplied values appear in the namespace."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--link",
+        default=argparse.SUPPRESS if explicit else "10gbit",
+        help="link rate" + ("" if explicit else " (default 10gbit)"),
+    )
+    return parent
+
+
+def _sim_parent(explicit: bool = False) -> argparse.ArgumentParser:
+    """Shared simulation knobs (``--seed/--scale/--duration``) used by
+    ``fv simulate`` and ``fv campaign run``. With ``explicit=True``
+    defaults are suppressed so the campaign only overrides grid axes
+    the user actually named."""
+    parent = argparse.ArgumentParser(add_help=False)
+
+    def _default(value: Any) -> Any:
+        return argparse.SUPPRESS if explicit else value
+
+    parent.add_argument(
+        "--seed", type=int, default=_default(7),
+        help="simulation seed" + ("" if explicit else " (default 7)"),
+    )
+    parent.add_argument(
+        "--scale", type=float, default=_default(100.0),
+        help="rate-scale divisor (see DESIGN.md §1)"
+        + ("" if explicit else " (default 100)"),
+    )
+    parent.add_argument(
+        "--duration", type=float, default=_default(10.0),
+        help="simulated seconds" + ("" if explicit else " (default 10)"),
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,23 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="parse and validate a policy script")
+    check = sub.add_parser(
+        "check", parents=[_link_parent()],
+        help="parse and validate a policy script",
+    )
     check.add_argument("script", help="path to the fv script")
-    check.add_argument("--link", default="10gbit", help="link rate (default 10gbit)")
 
-    show = sub.add_parser("show", help="print the scheduling tree of a policy")
+    show = sub.add_parser(
+        "show", parents=[_link_parent()],
+        help="print the scheduling tree of a policy",
+    )
     show.add_argument("script", help="path to the fv script")
-    show.add_argument("--link", default="10gbit", help="link rate (default 10gbit)")
 
-    simulate = sub.add_parser("simulate", help="software-mode what-if run")
+    simulate = sub.add_parser(
+        "simulate", parents=[_link_parent(), _sim_parent()],
+        help="software-mode what-if run",
+    )
     simulate.add_argument("script", help="path to the fv script")
-    simulate.add_argument("--link", default="10gbit", help="link rate (default 10gbit)")
     simulate.add_argument(
         "--app", action="append", default=[], metavar="NAME=RATE",
         help="offered load per app, e.g. --app KVS=9gbit (repeatable)",
     )
-    simulate.add_argument("--duration", type=float, default=10.0,
-                          help="simulated seconds (default 10)")
     simulate.add_argument("--packet-size", type=int, default=1500,
                           help="frame size in bytes (default 1500)")
     simulate.add_argument(
@@ -79,12 +129,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-limit", type=int, default=0,
         help="cap on stored trace records, oldest evicted (0 = unlimited)",
     )
-    simulate.add_argument(
-        "--scale", type=float, default=100.0,
-        help="rate-scale divisor for --nic runs (default 100; see DESIGN.md §1)",
+
+    campaign = sub.add_parser(
+        "campaign", help="run experiment grids on a worker pool",
     )
-    simulate.add_argument("--seed", type=int, default=7,
-                          help="simulation seed for --nic runs (default 7)")
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    clist = csub.add_parser("list", help="list registered experiment specs")
+    clist.add_argument("--verbose", action="store_true",
+                       help="also show defaults and result schema")
+
+    crun = csub.add_parser(
+        "run", parents=[_link_parent(explicit=True), _sim_parent(explicit=True)],
+        help="expand spec grids into tasks and run them in parallel",
+    )
+    crun.add_argument("specs", nargs="+", metavar="SPEC",
+                      help="registered spec name(s); see `fv campaign list`")
+    crun.add_argument("--workers", type=int, default=1,
+                      help="worker processes (0 = run inline; default 1)")
+    crun.add_argument("--timeout", type=float, default=None,
+                      help="per-task wall-clock budget in seconds")
+    crun.add_argument("--retries", type=int, default=2,
+                      help="retry budget for transient failures (default 2)")
+    crun.add_argument("--backoff", type=float, default=0.5,
+                      help="base retry backoff in seconds, doubled per "
+                           "attempt (default 0.5)")
+    crun.add_argument(
+        "--set", action="append", default=[], metavar="KEY=V1,V2",
+        help="override a grid axis, e.g. --set seed=11,12 or "
+             "--set sizes=[1518,512] (repeatable)",
+    )
+    crun.add_argument("--manifest", default=DEFAULT_MANIFEST,
+                      help=f"JSONL manifest path (default {DEFAULT_MANIFEST})")
+    crun.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                      help=f"result cache directory (default {DEFAULT_CACHE_DIR})")
+    crun.add_argument("--no-cache", action="store_true",
+                      help="disable the content-addressed result cache")
+    crun.add_argument("--tables", action="store_true",
+                      help="render each task's result table after the summary")
+
+    cstatus = csub.add_parser(
+        "status", help="summarise a campaign manifest (works on live files)",
+    )
+    cstatus.add_argument("--manifest", default=DEFAULT_MANIFEST,
+                         help=f"JSONL manifest path (default {DEFAULT_MANIFEST})")
     return parser
 
 
@@ -115,14 +203,34 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _parse_apps(specs: List[str]) -> Dict[str, float]:
+    """Parse repeated ``--app NAME=RATE`` flags.
+
+    Raises :class:`SystemExit` (usage errors, exit code 2) on duplicate
+    app names, malformed specs, and unparseable rate suffixes so the
+    shell sees the conventional bad-arguments status.
+    """
     demands: Dict[str, float] = {}
     for spec in specs:
         name, sep, rate_text = spec.partition("=")
         if not sep or not name:
-            raise ReproError(f"--app expects NAME=RATE, got {spec!r}")
-        demands[name] = parse_rate(rate_text)
+            raise SystemExit(
+                f"fv simulate: error: --app expects NAME=RATE, got {spec!r}"
+            )
+        if name in demands:
+            raise SystemExit(
+                f"fv simulate: error: duplicate app name {name!r} in --app "
+                f"flags; each app may be given once"
+            )
+        try:
+            demands[name] = parse_rate(rate_text)
+        except ParseError as exc:
+            raise SystemExit(
+                f"fv simulate: error: bad rate for app {name!r}: {exc}"
+            ) from None
     if not demands:
-        raise ReproError("simulate needs at least one --app NAME=RATE")
+        raise SystemExit(
+            "fv simulate: error: simulate needs at least one --app NAME=RATE"
+        )
     return demands
 
 
@@ -196,7 +304,7 @@ def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Di
         raise ReproError(f"--scale must be positive, got {args.scale}")
     tracer = Tracer(limit=args.trace_limit) if args.trace else None
     registry = MetricsRegistry() if args.metrics else None
-    setup = ScaledSetup(nominal_link_bps=link, scale=args.scale, wire_bps=link, seed=args.seed)
+    setup = ScaledSetup.for_link(link, scale=args.scale, seed=args.seed)
     sim = Simulator(seed=setup.seed, tracer=tracer, metrics=registry)
     frontend = FlowValveFrontend(policy, link_rate_bps=setup.link_bps, params=setup.sched_params())
     sink = PacketSink(sim, rate_window=1.0, record_delays=False)
@@ -246,6 +354,143 @@ def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Di
     return 0
 
 
+# ----------------------------------------------------------------------
+# fv campaign
+# ----------------------------------------------------------------------
+def _split_grid_values(text: str) -> List[str]:
+    """Split a ``--set`` value list on top-level commas only, so
+    ``sizes=[1518,512]`` stays one (list-valued) grid point while
+    ``seed=11,12`` becomes two."""
+    parts: List[str] = []
+    current: List[str] = []
+    depth = 0
+    for ch in text:
+        if ch in "[({":
+            depth += 1
+        elif ch in "])}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _coerce_value(text: str) -> Any:
+    """Best-effort literal parse (ints, floats, lists, strings)."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_set_overrides(flags: List[str]) -> Dict[str, List[Any]]:
+    overrides: Dict[str, List[Any]] = {}
+    for flag in flags:
+        key, sep, value_text = flag.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise SystemExit(
+                f"fv campaign: error: --set expects KEY=V1[,V2...], got {flag!r}"
+            )
+        values = [_coerce_value(v) for v in _split_grid_values(value_text)]
+        if not values:
+            raise SystemExit(
+                f"fv campaign: error: --set {key}= names no values"
+            )
+        if key in overrides:
+            raise SystemExit(
+                f"fv campaign: error: duplicate --set axis {key!r}"
+            )
+        overrides[key] = values
+    return overrides
+
+
+def _campaign_overrides(args: argparse.Namespace) -> Dict[str, List[Any]]:
+    """Merge ``--set`` axes with the shared simulation flags. The
+    shared flags use suppressed defaults, so only ones the user typed
+    become grid overrides."""
+    overrides = _parse_set_overrides(args.set)
+    if hasattr(args, "link"):
+        link = parse_rate(args.link)
+        overrides.setdefault("nominal_link_bps", [link])
+        overrides.setdefault("wire_bps", [link])
+    for key in ("seed", "scale", "duration"):
+        if hasattr(args, key):
+            overrides.setdefault(key, [getattr(args, key)])
+    return overrides
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from .experiments.campaign import REGISTRY
+
+    width = max((len(name) for name in REGISTRY.names()), default=0)
+    for spec in REGISTRY:
+        print(f"{spec.name:<{width}s}  {spec.description}")
+        if args.verbose:
+            if spec.defaults:
+                print(f"{'':<{width}s}  defaults: {dict(spec.defaults)}")
+            if spec.schema:
+                schema = {
+                    attr: (t.__name__ if t is not None else "any")
+                    for attr, t in spec.schema.items()
+                }
+                print(f"{'':<{width}s}  schema:   {schema}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .experiments.campaign import CampaignRunner
+
+    overrides = _campaign_overrides(args)
+    runner = CampaignRunner(
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        manifest_path=args.manifest,
+    )
+    tasks = runner.tasks_for(args.specs, overrides=overrides)
+    print(
+        f"campaign: {len(tasks)} task(s) over {len(args.specs)} spec(s), "
+        f"workers={args.workers}"
+        + ("" if args.no_cache else f", cache={args.cache_dir}")
+    )
+    report = runner.run(tasks)
+    print(report.summary_table().render())
+    if not args.no_cache:
+        print(f"cache hit rate: {report.cache_hit_rate:.0%}")
+    print(f"manifest: {args.manifest}")
+    if args.tables:
+        for record in report.records:
+            result = report.results.get(record.task_id)
+            if result is not None:
+                print()
+                print(result.to_table().render())
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from .experiments.campaign import read_manifest
+    from .stats.report import Table
+
+    records = read_manifest(args.manifest)
+    counts = Counter(record.status for record in records)
+    summary = ", ".join(f"{status}={n}" for status, n in sorted(counts.items()))
+    print(f"{args.manifest}: {len(records)} task(s): {summary or 'empty'}")
+    table = Table("campaign status", ["task", "status", "attempts", "duration(s)"])
+    for record in records:
+        table.add_row(record.task_id, record.status, record.attempts,
+                      f"{record.duration:.2f}")
+    print(table.render())
+    return 0 if all(r.status in ("ok", "cached") for r in records) else 1
+
+
 def main(argv=None) -> int:
     """Entry point for the ``fv`` console script."""
     parser = build_parser()
@@ -257,6 +502,13 @@ def main(argv=None) -> int:
             return _cmd_show(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "campaign":
+            if args.campaign_command == "list":
+                return _cmd_campaign_list(args)
+            if args.campaign_command == "run":
+                return _cmd_campaign_run(args)
+            if args.campaign_command == "status":
+                return _cmd_campaign_status(args)
     except ReproError as exc:
         print(f"fv: error: {exc}", file=sys.stderr)
         return 1

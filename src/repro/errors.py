@@ -21,6 +21,8 @@ __all__ = [
     "SchedulingError",
     "UnknownClassError",
     "CapacityError",
+    "CampaignError",
+    "TransientError",
 ]
 
 
@@ -101,3 +103,21 @@ class UnknownClassError(SchedulingError):
 class CapacityError(ReproError):
     """A finite resource (ring, queue, pool) was configured with a
     non-positive capacity or asked to exceed a hard limit."""
+
+
+class CampaignError(ReproError):
+    """The campaign layer was misconfigured or a spec misbehaved.
+
+    Examples: an unknown spec name, a duplicate registration, or a
+    result that violates the spec's declared schema.
+    """
+
+
+class TransientError(ReproError):
+    """A task failure the campaign runner may retry.
+
+    Experiment entry points (or the harness around them) raise this for
+    conditions expected to clear on a re-run — a busy resource, a
+    temporary file conflict. The runner retries with backoff up to its
+    ``retries`` budget; any other exception fails the task immediately.
+    """

@@ -5,6 +5,14 @@ scheduler under test, wire, receiver), runs it, and returns a typed
 result that the benchmark suite renders as the same rows/series the
 paper reports. See DESIGN.md §3 for the experiment index and
 EXPERIMENTS.md for paper-vs-measured numbers.
+
+Every figure module exposes the unified entry-point shape
+``run(setup: ScaledSetup, **spec_params) -> Result`` where the result
+exposes ``to_table()`` (DESIGN.md §9); the historical ``run_*`` names
+remain as thin deprecation shims returning their original shapes. The
+:mod:`.campaign` subpackage (imported explicitly) registers every
+entry point as an :class:`ExperimentSpec` and runs parameter grids in
+parallel.
 """
 
 from .base import (
@@ -26,10 +34,13 @@ from .workloads import (
 )
 from .fig03 import run_fig03
 from .fig11 import run_fig11a, run_fig11b, run_fig11c
-from .fig13 import Fig13Row, run_fig13
-from .fig14 import Fig14Row, run_fig14
-from .cpu_cores import CpuRow, run_cpu_comparison
+from .fig13 import Fig13Result, Fig13Row, run_fig13
+from .fig14 import Fig14Result, Fig14Row, run_fig14
+from .cpu_cores import CpuResult, CpuRow, run_cpu_comparison
 from .ablations import (
+    IntervalSensitivityResult,
+    LockAblationResult,
+    PropagationDelayResult,
     run_lock_mode_ablation,
     run_propagation_delay,
     run_update_interval_sensitivity,
@@ -56,12 +67,18 @@ __all__ = [
     "run_fig11a",
     "run_fig11b",
     "run_fig11c",
+    "Fig13Result",
     "Fig13Row",
     "run_fig13",
+    "Fig14Result",
     "Fig14Row",
     "run_fig14",
+    "CpuResult",
     "CpuRow",
     "run_cpu_comparison",
+    "IntervalSensitivityResult",
+    "LockAblationResult",
+    "PropagationDelayResult",
     "run_lock_mode_ablation",
     "run_propagation_delay",
     "run_update_interval_sensitivity",

@@ -26,14 +26,21 @@ from ..host import FixedRateSender
 from ..sim import Simulator
 from ..stats.report import Table
 from ..tc.parser import parse_script
+from .base import ScaledSetup, warn_deprecated
 from .policies import fair_policy
 
 __all__ = [
     "LockModeResult",
+    "LockAblationResult",
+    "lock_modes",
     "run_lock_mode_ablation",
     "lock_ablation_table",
     "PropagationResult",
+    "PropagationDelayResult",
+    "propagation",
     "run_propagation_delay",
+    "IntervalSensitivityResult",
+    "interval_sensitivity",
     "run_update_interval_sensitivity",
 ]
 
@@ -50,13 +57,29 @@ class LockModeResult:
     lock_wait_seconds: float
 
 
-def run_lock_mode_ablation(
+@dataclass
+class LockAblationResult:
+    """The measured A-LOCK ablation (unified-API wrapper)."""
+
+    results: List[LockModeResult]
+
+    def to_table(self) -> Table:
+        return lock_ablation_table(self.results)
+
+
+def lock_modes(
+    setup: Optional[ScaledSetup] = None,
+    *,
     modes: Optional[List[str]] = None,
     window: float = 0.002,
     packet_size: int = 64,
-    seed: int = 23,
-) -> List[LockModeResult]:
-    """Measure 64 B forwarding capacity per locking discipline."""
+) -> LockAblationResult:
+    """Measure 64 B forwarding capacity per locking discipline.
+
+    Capacity runs execute at full modelled rates; only ``setup.seed``
+    is consumed.
+    """
+    seed = setup.seed if setup is not None else 23
     modes = modes if modes is not None else [
         "trylock", "per_class_block", "global_block", "sequential",
     ]
@@ -84,7 +107,19 @@ def run_lock_mode_ablation(
         sim.run(until=warmup + window)
         mpps = (sink.total_packets - counts["at_warmup"]) / window / 1e6
         results.append(LockModeResult(mode, round(mpps, 2), round(nic.app.lock_contention, 6)))
-    return results
+    return LockAblationResult(results=results)
+
+
+def run_lock_mode_ablation(
+    modes: Optional[List[str]] = None,
+    window: float = 0.002,
+    packet_size: int = 64,
+    seed: int = 23,
+) -> List[LockModeResult]:
+    """Deprecated alias for :func:`lock_modes`; returns the bare list."""
+    warn_deprecated("run_lock_mode_ablation", "repro.experiments.ablations.lock_modes")
+    setup = ScaledSetup(nominal_link_bps=40e9, scale=1.0, wire_bps=40e9, seed=seed)
+    return lock_modes(setup, modes=modes, window=window, packet_size=packet_size).results
 
 
 def lock_ablation_table(results: List[LockModeResult]) -> Table:
@@ -110,18 +145,39 @@ class PropagationResult:
     settle_epochs: float
 
 
-def run_propagation_delay(
+@dataclass
+class PropagationDelayResult:
+    """The measured A-DELAY propagation chain (unified-API wrapper)."""
+
+    results: List[PropagationResult]
+    update_interval: float = 0.01
+
+    def to_table(self) -> Table:
+        table = Table(
+            "A-DELAY — token-rate propagation down a priority chain (Fig. 10)",
+            ["classid", "depth", "settle (s)", "settle (epochs)"],
+        )
+        for r in self.results:
+            table.add_row(r.classid, r.depth, f"{r.settle_seconds:.4f}", r.settle_epochs)
+        return table
+
+
+def propagation(
+    setup: Optional[ScaledSetup] = None,
+    *,
     update_interval: float = 0.01,
     levels: int = 3,
-) -> List[PropagationResult]:
+) -> PropagationDelayResult:
     """Fig. 10's analysis, measured.
 
     Build a priority chain A0 ≻ A1 ≻ A2 (each level one deeper in the
     tree), run A0 at a high rate, then step A0 down at T and record
     when each lower class's θ settles within 5% of its new value.
     Software mode (no NIC costs) — this isolates the algorithm's
-    propagation dynamics.
+    propagation dynamics; the deterministic drive loop consumes no
+    randomness, so ``setup`` is accepted only for API uniformity.
     """
+    del setup  # software-mode and seedless; kept for the unified signature
     link = 10e6
     script_lines = [
         "fv qdisc add dev eth0 root handle 1: fv default 0",
@@ -206,17 +262,49 @@ def run_propagation_delay(
             settle_seconds=round(settle_delay, 4),
             settle_epochs=round(settle_delay / update_interval, 2),
         ))
-    return results
+    return PropagationDelayResult(results=results, update_interval=update_interval)
+
+
+def run_propagation_delay(
+    update_interval: float = 0.01,
+    levels: int = 3,
+) -> List[PropagationResult]:
+    """Deprecated alias for :func:`propagation`; returns the bare list."""
+    warn_deprecated("run_propagation_delay", "repro.experiments.ablations.propagation")
+    return propagation(update_interval=update_interval, levels=levels).results
 
 
 # ----------------------------------------------------------------------
 # A-INTERVAL
 # ----------------------------------------------------------------------
-def run_update_interval_sensitivity(
+@dataclass
+class IntervalSensitivityResult:
+    """The measured A-INTERVAL sweep (unified-API wrapper).
+
+    ``overshoot`` maps ΔT → ``{"epoch": o, "continuous": o}`` where o
+    is the worst-0.5s-window overshoot relative to the target rate.
+    """
+
+    overshoot: Dict[float, Dict[str, float]]
+
+    def to_table(self) -> Table:
+        table = Table(
+            "A-INTERVAL — worst-window overshoot vs update interval ΔT",
+            ["ΔT (s)", "epoch refill", "continuous refill"],
+        )
+        for interval in sorted(self.overshoot):
+            row = self.overshoot[interval]
+            table.add_row(interval, f"{row['epoch']:+.1%}", f"{row['continuous']:+.1%}")
+        return table
+
+
+def interval_sensitivity(
+    setup: Optional[ScaledSetup] = None,
+    *,
     intervals: Optional[List[float]] = None,
     target_bps: float = 4e6,
     duration: float = 30.0,
-) -> Dict[float, Dict[str, float]]:
+) -> IntervalSensitivityResult:
     """Short-window rate conformance vs the update interval ΔT.
 
     Long-run conformance is exact in both refill modes; what ΔT
@@ -228,8 +316,10 @@ def run_update_interval_sensitivity(
 
     Returns ``{ΔT: {"epoch": overshoot, "continuous": overshoot}}``
     where overshoot = (worst-window rate − target)/target under 2×
-    constant overload.
+    constant overload. Software-mode and deterministic, so ``setup``
+    is accepted only for API uniformity.
     """
+    del setup  # software-mode and seedless; kept for the unified signature
     intervals = intervals if intervals is not None else [0.01, 0.05, 0.1, 0.5, 1.0]
     script = f"""
     fv qdisc add dev eth0 root handle 1: fv default 0
@@ -264,4 +354,20 @@ def run_update_interval_sensitivity(
             worst = max(bins.values()) / window if bins else 0.0
             row[mode] = round(max(0.0, worst - target_bps) / target_bps, 4)
         results[interval] = row
-    return results
+    return IntervalSensitivityResult(overshoot=results)
+
+
+def run_update_interval_sensitivity(
+    intervals: Optional[List[float]] = None,
+    target_bps: float = 4e6,
+    duration: float = 30.0,
+) -> Dict[float, Dict[str, float]]:
+    """Deprecated alias for :func:`interval_sensitivity`; returns the
+    bare ΔT → overshoot mapping."""
+    warn_deprecated(
+        "run_update_interval_sensitivity",
+        "repro.experiments.ablations.interval_sensitivity",
+    )
+    return interval_sensitivity(
+        intervals=intervals, target_bps=target_bps, duration=duration
+    ).overshoot

@@ -18,6 +18,7 @@ dedicated TCP-realism experiment and the test suite.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -36,10 +37,26 @@ __all__ = [
     "TimelineResult",
     "run_flowvalve_timeline",
     "run_kernel_htb_timeline",
+    "warn_deprecated",
 ]
 
 #: Demand schedule type (re-exported for signatures).
 Demand = Callable[[float], float]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard warning for a legacy ``run_*`` shim.
+
+    Every figure module keeps its historical entry point as a thin
+    wrapper over the unified ``run(setup, **params) -> Result`` API
+    (DESIGN.md §9); the wrapper calls this once per invocation.
+    """
+    warnings.warn(
+        f"{old}() is deprecated; use {new} — the unified "
+        "run(setup, **params) -> Result experiment API",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -60,6 +77,16 @@ class ScaledSetup:
     scale: float = 100.0
     wire_bps: float = 40e9
     seed: int = 7
+
+    @classmethod
+    def for_link(cls, link_bps: float, *, scale: float = 100.0, seed: int = 7) -> "ScaledSetup":
+        """A setup whose policy ceiling and physical wire coincide.
+
+        This is the CLI/campaign convention: one ``--link`` flag names
+        both rates (the HTB overshoot experiments, which need them to
+        differ, construct their setups explicitly).
+        """
+        return cls(nominal_link_bps=link_bps, scale=scale, wire_bps=link_bps, seed=seed)
 
     @property
     def link_bps(self) -> float:

@@ -1,0 +1,154 @@
+"""Built-in campaign specs: one per paper figure/table, plus smokes.
+
+Importing this module (or the campaign package) populates the global
+:data:`~repro.experiments.campaign.spec.REGISTRY`. Worker processes
+import it too, so a task is fully described by ``(spec name, params)``
+regardless of the multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import TransientError
+from ...stats.report import Table
+from .. import ablations, cpu_cores, fig03, fig11, fig13, fig14, hotpath, tcp_realism
+from ..base import ScaledSetup
+from .spec import REGISTRY, register
+
+__all__ = ["SmokeResult", "smoke_sleep", "smoke_fault"]
+
+
+# ----------------------------------------------------------------------
+# smoke specs (tiny, deterministic; used by tests and the CI smoke job)
+# ----------------------------------------------------------------------
+@dataclass
+class SmokeResult:
+    """Minimal unified-API result for harness smokes."""
+
+    label: str
+    value: float
+
+    def to_table(self) -> Table:
+        table = Table("campaign smoke", ["label", "value"])
+        table.add_row(self.label, self.value)
+        return table
+
+
+def smoke_sleep(
+    setup: Optional[ScaledSetup] = None,
+    *,
+    seconds: float = 0.2,
+    label: str = "sleep",
+) -> SmokeResult:
+    """Sleep for *seconds* — exercises worker concurrency and timeouts
+    without burning CPU (sleeping tasks overlap even on one core)."""
+    del setup
+    time.sleep(seconds)
+    return SmokeResult(label=label, value=seconds)
+
+
+def smoke_fault(
+    setup: Optional[ScaledSetup] = None,
+    *,
+    marker: str = "",
+    fail_times: int = 1,
+) -> SmokeResult:
+    """Fail transiently until *marker* has accumulated *fail_times*
+    attempts — exercises the runner's retry-with-backoff path. The
+    attempt count lives in a file because each attempt runs in a fresh
+    process."""
+    del setup
+    attempts = 0
+    if marker:
+        if os.path.exists(marker):
+            with open(marker) as fh:
+                attempts = len(fh.readlines())
+        if attempts < fail_times:
+            with open(marker, "a") as fh:
+                fh.write(f"attempt {attempts + 1}\n")
+            raise TransientError(
+                f"injected transient fault ({attempts + 1}/{fail_times})"
+            )
+    return SmokeResult(label="fault", value=float(attempts))
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+def _register_builtins() -> None:
+    if "fig03" in REGISTRY:  # idempotent under re-import
+        return
+    register(
+        "fig03", fig03.run,
+        description="Fig. 3 — kernel HTB mis-enforcing the motivation policy",
+        schema={"series": dict},
+    )
+    for variant, blurb in (
+        ("a", "motivation policy at 10 Gbit"),
+        ("b", "fair queueing at 40 Gbit"),
+        ("c", "weighted fair queueing at 40 Gbit"),
+    ):
+        register(
+            f"fig11{variant}", fig11.run,
+            description=f"Fig. 11({variant}) — FlowValve, {blurb}",
+            defaults={"variant": variant},
+            schema={"series": dict},
+        )
+    register(
+        "fig13", fig13.run,
+        description="Fig. 13 — maximum throughput (Mpps) vs packet size",
+        schema={"rows": list},
+    )
+    register(
+        "fig14", fig14.run,
+        description="Fig. 14 — one-way delay under fair queueing",
+        schema={"rows": list},
+    )
+    register(
+        "cpu_cores", cpu_cores.run,
+        description="§V-B — CPU cores consumed by scheduling at matched load",
+        schema={"rows": list},
+    )
+    register(
+        "lock_ablation", ablations.lock_modes,
+        description="A-LOCK — 64 B capacity per update-locking discipline (Fig. 7)",
+        schema={"results": list},
+    )
+    register(
+        "propagation", ablations.propagation,
+        description="A-DELAY — token-rate propagation down a priority chain (Fig. 10)",
+        schema={"results": list},
+    )
+    register(
+        "interval_sensitivity", ablations.interval_sensitivity,
+        description="A-INTERVAL — worst-window overshoot vs update interval ΔT",
+        schema={"overshoot": dict},
+    )
+    register(
+        "tcp_realism", tcp_realism.run,
+        description="TCP realism — policy targets vs TCP-achieved shares",
+        defaults={"regime": "shared"},
+        schema={"targets": dict, "achieved": dict},
+    )
+    register(
+        "hotpath", hotpath.run,
+        description="E-PERF — DES kernel events/sec + packets/sec microbenchmark",
+        schema={"events": int, "packets": int},
+    )
+    register(
+        "smoke_sleep", smoke_sleep,
+        description="harness smoke: sleep a configurable number of seconds",
+        schema={"value": float},
+    )
+    register(
+        "smoke_fault", smoke_fault,
+        description="harness smoke: transient fault injection for retry testing",
+        schema={"value": float},
+    )
+
+
+_register_builtins()

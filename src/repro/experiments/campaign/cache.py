@@ -1,0 +1,131 @@
+"""Content-addressed on-disk result cache for campaign tasks.
+
+A task's cache key digests ``(spec name, resolved params, source
+digest)`` where the source digest hashes every git-tracked file under
+``src/`` — so an incremental re-run is a cache hit exactly when the
+same code would compute the same result, and any source edit
+invalidates the whole cache at once (coarse but sound: the simulator
+is deterministic per seed, and per-module dependency tracking is not
+worth being wrong about).
+
+Entries are stored as ``<key[:2]>/<key>.pkl`` (pickled Result) plus a
+``.json`` sidecar with the human-readable key material, so a cache
+directory can be audited with nothing but ``ls`` and ``cat``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["source_digest", "task_key", "ResultCache"]
+
+_digest_cache: Dict[str, str] = {}
+
+
+def _package_root() -> Path:
+    """The ``src`` directory containing the ``repro`` package."""
+    return Path(__file__).resolve().parents[3]
+
+
+def source_digest(root: Optional[str] = None) -> str:
+    """Digest of the git-tracked source tree under *root* (default: the
+    installed ``src`` tree). Falls back to hashing every ``*.py`` file
+    when git is unavailable (e.g. an sdist install)."""
+    base = Path(root) if root is not None else _package_root()
+    cache_token = str(base)
+    if cache_token in _digest_cache:
+        return _digest_cache[cache_token]
+    files = _tracked_files(base)
+    digest = hashlib.sha256()
+    for path in files:
+        digest.update(str(path.relative_to(base)).encode())
+        digest.update(b"\0")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+        digest.update(b"\0")
+    value = digest.hexdigest()
+    _digest_cache[cache_token] = value
+    return value
+
+
+def _tracked_files(base: Path) -> "list[Path]":
+    try:
+        listing = subprocess.run(
+            ["git", "ls-files", "-z", "--", "."],
+            cwd=base,
+            capture_output=True,
+            check=True,
+            timeout=10,
+        )
+        names = [n for n in listing.stdout.decode().split("\0") if n]
+        files = [base / name for name in names if (base / name).is_file()]
+        if files:
+            return sorted(files)
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return sorted(p for p in base.rglob("*.py") if p.is_file())
+
+
+def task_key(spec_name: str, params: Mapping[str, Any], digest: str) -> str:
+    """The content address of one campaign task."""
+    material = json.dumps(
+        {"spec": spec_name, "params": dict(params), "source": digest},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-key result store rooted at one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        shard = self.root / key[:2]
+        return shard / f"{key}.pkl", shard / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a corrupt entry reads as a miss."""
+        payload, _ = self._paths(key)
+        if not payload.is_file():
+            self.misses += 1
+            return False, None
+        try:
+            with payload.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any, meta: Optional[Mapping[str, Any]] = None) -> None:
+        """Store *value* under *key*; writes are atomic (tmp + rename)
+        so a killed worker never leaves a truncated entry."""
+        payload, sidecar = self._paths(key)
+        payload.parent.mkdir(parents=True, exist_ok=True)
+        tmp = payload.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, payload)
+        if meta is not None:
+            sidecar.write_text(
+                json.dumps(dict(meta), sort_keys=True, default=repr, indent=2) + "\n"
+            )
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

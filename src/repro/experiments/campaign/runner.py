@@ -1,0 +1,449 @@
+"""The parallel campaign runner.
+
+Fans ``(spec, params)`` tasks out over a pool of worker *processes*
+(one process per task, at most ``workers`` alive at once) so that:
+
+* a hung task can be killed at its wall-clock deadline — terminating a
+  process is reliable where cancelling a thread is not;
+* the GIL never serialises two simulations;
+* a crashed task (segfault, OOM-kill) degrades to one ``failed``
+  record instead of taking the campaign down.
+
+Transient failures (:class:`~repro.errors.TransientError`) are retried
+with exponential backoff up to the runner's ``retries`` budget; results
+are cached content-addressed (see :mod:`.cache`) so re-running a
+campaign recomputes only what changed; every terminal task streams one
+JSONL record to the manifest (see :mod:`.manifest`).
+
+``workers=0`` runs tasks inline in the calling process — no isolation
+or timeouts, but convenient under a debugger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...errors import CampaignError, TransientError
+from ...stats.report import Table
+from .cache import ResultCache, source_digest, task_key
+from .manifest import ManifestWriter, TaskRecord
+from .spec import REGISTRY, SpecRegistry
+
+__all__ = ["CampaignTask", "CampaignReport", "CampaignRunner"]
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One unit of campaign work: a spec name plus resolved params."""
+
+    spec: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    task_id: str = ""
+
+    def with_id(self, index: int) -> "CampaignTask":
+        if self.task_id:
+            return self
+        label = ",".join(f"{k}={self.params[k]}" for k in sorted(self.params))
+        suffix = f"[{label}]" if label else f"#{index}"
+        return CampaignTask(self.spec, self.params, f"{self.spec}{suffix}")
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished campaign produced."""
+
+    records: List[TaskRecord] = field(default_factory=list)
+    results: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    manifest_path: Optional[str] = None
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for record in self.records:
+            tally[record.status] = tally.get(record.status, 0) + 1
+        return tally
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status in ("ok", "cached") for r in self.records)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        cached = sum(1 for r in self.records if r.status == "cached")
+        return cached / len(self.records)
+
+    def summary_table(self) -> Table:
+        table = Table(
+            f"campaign — {len(self.records)} tasks in {self.wall_seconds:.1f}s wall",
+            ["task", "status", "attempts", "duration(s)", "worker"],
+        )
+        for record in self.records:
+            table.add_row(
+                record.task_id,
+                record.status,
+                record.attempts,
+                f"{record.duration:.2f}",
+                record.worker if record.worker is not None else "-",
+            )
+        return table
+
+
+def _task_entry(conn, spec_name: str, params: Dict[str, Any]) -> None:
+    """Worker-process body: resolve the spec, run it, ship the result.
+
+    Runs in a fresh process; the registry is re-populated by importing
+    the campaign package (a no-op under the default ``fork`` start
+    method, where the parent's registrations are inherited).
+    """
+    try:
+        from . import builtin  # noqa: F401 — ensures builtins under spawn
+        registry = REGISTRY
+        spec = registry.get(spec_name)
+        start = time.perf_counter()
+        result = spec.execute(params)
+        spec.validate(result)
+        conn.send(("ok", result, time.perf_counter() - start))
+    except TransientError as exc:
+        conn.send(("transient", f"{type(exc).__name__}: {exc}", 0.0))
+    except BaseException as exc:  # noqa: BLE001 — one task, one record
+        conn.send(("failed", f"{type(exc).__name__}: {exc}", 0.0))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """A live worker process and the task it is executing."""
+
+    task: CampaignTask
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+class CampaignRunner:
+    """Run campaign tasks over a bounded worker-process pool."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        cache_dir: Optional[str] = None,
+        manifest_path: Optional[str] = None,
+        registry: Optional[SpecRegistry] = None,
+        mp_context: Optional[str] = None,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if workers < 0:
+            raise CampaignError(f"workers must be >= 0, got {workers}")
+        if retries < 0:
+            raise CampaignError(f"retries must be >= 0, got {retries}")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.registry = registry if registry is not None else REGISTRY
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.manifest_path = manifest_path
+        self.poll_interval = poll_interval
+        start_method = mp_context or ("fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn")
+        self._ctx = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------
+    # task construction
+    # ------------------------------------------------------------------
+    def tasks_for(
+        self,
+        spec_names: Sequence[str],
+        overrides: Optional[Mapping[str, Sequence[Any]]] = None,
+    ) -> List[CampaignTask]:
+        """Expand registered specs (+ grid axis overrides) into tasks.
+
+        An override key of the form ``spec.axis`` applies only to that
+        spec — the way to give per-spec parameters when one campaign
+        fans out multiple specs; bare keys apply to every spec.
+        """
+        shared: Dict[str, Sequence[Any]] = {}
+        scoped: Dict[str, Dict[str, Sequence[Any]]] = {}
+        for key, values in (overrides or {}).items():
+            if "." in key:
+                spec_part, axis = key.split(".", 1)
+                scoped.setdefault(spec_part, {})[axis] = values
+            else:
+                shared[key] = values
+        unknown = set(scoped) - set(spec_names)
+        if unknown:
+            raise CampaignError(
+                f"scoped override(s) for spec(s) not in this campaign: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        tasks: List[CampaignTask] = []
+        for name in spec_names:
+            spec = self.registry.get(name)
+            merged = {**shared, **scoped.get(name, {})}
+            for index, params in enumerate(spec.param_sets(merged)):
+                tasks.append(CampaignTask(spec.name, params).with_id(index))
+        return tasks
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[CampaignTask]) -> CampaignReport:
+        """Execute *tasks*; returns the report after the last one lands."""
+        tasks = [t.with_id(i) for i, t in enumerate(tasks)]
+        seen: set = set()
+        for task in tasks:
+            if task.task_id in seen:
+                raise CampaignError(f"duplicate task id {task.task_id!r}")
+            seen.add(task.task_id)
+        digest = source_digest() if self.cache is not None else ""
+        report = CampaignReport(manifest_path=self.manifest_path)
+        manifest = ManifestWriter(self.manifest_path) if self.manifest_path else None
+        wall_start = time.perf_counter()
+        try:
+            if self.workers == 0:
+                self._run_inline(tasks, digest, report, manifest)
+            else:
+                self._run_pool(tasks, digest, report, manifest)
+        finally:
+            if manifest is not None:
+                manifest.close()
+        report.wall_seconds = time.perf_counter() - wall_start
+        # Manifest order follows completion; report order follows input.
+        order = {t.task_id: i for i, t in enumerate(tasks)}
+        report.records.sort(key=lambda r: order.get(r.task_id, len(order)))
+        return report
+
+    # -- shared bookkeeping --------------------------------------------
+    def _key_for(self, task: CampaignTask, digest: str) -> str:
+        return task_key(task.spec, task.params, digest) if self.cache is not None else ""
+
+    def _finish(
+        self,
+        report: CampaignReport,
+        manifest: Optional[ManifestWriter],
+        record: TaskRecord,
+        result: Any = None,
+    ) -> None:
+        report.records.append(record)
+        if result is not None:
+            report.results[record.task_id] = result
+        if manifest is not None:
+            manifest.write(record)
+
+    def _try_cache(
+        self,
+        task: CampaignTask,
+        key: str,
+        report: CampaignReport,
+        manifest: Optional[ManifestWriter],
+    ) -> bool:
+        if self.cache is None:
+            return False
+        hit, value = self.cache.get(key)
+        if not hit:
+            return False
+        now = time.time()
+        self._finish(report, manifest, TaskRecord(
+            task_id=task.task_id, spec=task.spec, params=dict(task.params),
+            status="cached", attempts=0, duration=0.0, worker=None,
+            cache_key=key, started=now, finished=now,
+        ), value)
+        return True
+
+    def _store(self, task: CampaignTask, key: str, value: Any, duration: float) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(key, value, meta={
+            "spec": task.spec,
+            "params": dict(task.params),
+            "duration": duration,
+            "result_type": type(value).__name__,
+        })
+
+    # -- inline mode ----------------------------------------------------
+    def _run_inline(
+        self,
+        tasks: Sequence[CampaignTask],
+        digest: str,
+        report: CampaignReport,
+        manifest: Optional[ManifestWriter],
+    ) -> None:
+        for task in tasks:
+            key = self._key_for(task, digest)
+            if self._try_cache(task, key, report, manifest):
+                continue
+            spec = self.registry.get(task.spec)
+            attempts = 0
+            started = time.time()
+            while True:
+                attempts += 1
+                begin = time.perf_counter()
+                try:
+                    result = spec.execute(task.params)
+                    spec.validate(result)
+                except TransientError as exc:
+                    if attempts <= self.retries:
+                        time.sleep(self.backoff * (2 ** (attempts - 1)))
+                        continue
+                    self._finish(report, manifest, TaskRecord(
+                        task_id=task.task_id, spec=task.spec,
+                        params=dict(task.params), status="failed",
+                        attempts=attempts, duration=time.perf_counter() - begin,
+                        cache_key=key, error=f"{type(exc).__name__}: {exc}",
+                        started=started, finished=time.time(),
+                    ))
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    self._finish(report, manifest, TaskRecord(
+                        task_id=task.task_id, spec=task.spec,
+                        params=dict(task.params), status="failed",
+                        attempts=attempts, duration=time.perf_counter() - begin,
+                        cache_key=key, error=f"{type(exc).__name__}: {exc}",
+                        started=started, finished=time.time(),
+                    ))
+                    break
+                else:
+                    duration = time.perf_counter() - begin
+                    self._store(task, key, result, duration)
+                    self._finish(report, manifest, TaskRecord(
+                        task_id=task.task_id, spec=task.spec,
+                        params=dict(task.params), status="ok",
+                        attempts=attempts, duration=duration, cache_key=key,
+                        started=started, finished=time.time(),
+                    ), result)
+                    break
+
+    # -- pool mode ------------------------------------------------------
+    def _spawn(self, task: CampaignTask, attempt: int) -> _Attempt:
+        spec = self.registry.get(task.spec)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_task_entry,
+            args=(child_conn, task.spec, dict(task.params)),
+            daemon=True,
+            name=f"fv-campaign-{task.task_id}",
+        )
+        process.start()
+        child_conn.close()
+        budget = self.timeout if self.timeout is not None else spec.timeout
+        now = time.monotonic()
+        return _Attempt(
+            task=task,
+            attempt=attempt,
+            process=process,
+            conn=parent_conn,
+            started=now,
+            deadline=(now + budget) if budget is not None else None,
+        )
+
+    def _run_pool(
+        self,
+        tasks: Sequence[CampaignTask],
+        digest: str,
+        report: CampaignReport,
+        manifest: Optional[ManifestWriter],
+    ) -> None:
+        keys: Dict[str, str] = {}
+        pending: List[Tuple[float, CampaignTask, int]] = []  # (ready_at, task, attempt)
+        for task in tasks:
+            key = self._key_for(task, digest)
+            keys[task.task_id] = key
+            if not self._try_cache(task, key, report, manifest):
+                pending.append((0.0, task, 1))
+        running: List[_Attempt] = []
+        start_times: Dict[str, float] = {}
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Launch whatever is ready while worker slots are free.
+                ready = [p for p in pending if p[0] <= now]
+                while ready and len(running) < self.workers:
+                    entry = ready.pop(0)
+                    pending.remove(entry)
+                    _, task, attempt = entry
+                    start_times.setdefault(task.task_id, time.time())
+                    running.append(self._spawn(task, attempt))
+                progressed = self._reap(running, pending, keys, start_times, report, manifest)
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        finally:
+            for attempt in running:  # interrupted: leave no orphans
+                attempt.process.terminate()
+                attempt.process.join()
+
+    def _reap(
+        self,
+        running: List[_Attempt],
+        pending: List[Tuple[float, CampaignTask, int]],
+        keys: Dict[str, str],
+        start_times: Dict[str, float],
+        report: CampaignReport,
+        manifest: Optional[ManifestWriter],
+    ) -> bool:
+        """Collect finished/expired attempts; returns True on progress."""
+        progressed = False
+        for attempt in list(running):
+            task = attempt.task
+            key = keys[task.task_id]
+            outcome: Optional[Tuple[str, Any, float]] = None
+            if attempt.conn.poll():
+                try:
+                    outcome = attempt.conn.recv()
+                except (EOFError, OSError):
+                    outcome = ("failed", "worker died before reporting a result", 0.0)
+            elif not attempt.process.is_alive():
+                outcome = ("failed", f"worker exited with code {attempt.process.exitcode}", 0.0)
+            elif attempt.deadline is not None and time.monotonic() > attempt.deadline:
+                attempt.process.terminate()
+                attempt.process.join()
+                self._finish(report, manifest, TaskRecord(
+                    task_id=task.task_id, spec=task.spec, params=dict(task.params),
+                    status="timeout", attempts=attempt.attempt,
+                    duration=time.monotonic() - attempt.started,
+                    worker=attempt.process.pid, cache_key=key,
+                    error=f"wall-clock deadline exceeded after {time.monotonic() - attempt.started:.2f}s",
+                    started=start_times[task.task_id], finished=time.time(),
+                ))
+                attempt.conn.close()
+                running.remove(attempt)
+                progressed = True
+                continue
+            if outcome is None:
+                continue
+            status, payload, worker_duration = outcome
+            attempt.process.join()
+            attempt.conn.close()
+            running.remove(attempt)
+            progressed = True
+            duration = time.monotonic() - attempt.started
+            if status == "ok":
+                self._store(task, key, payload, worker_duration or duration)
+                self._finish(report, manifest, TaskRecord(
+                    task_id=task.task_id, spec=task.spec, params=dict(task.params),
+                    status="ok", attempts=attempt.attempt, duration=duration,
+                    worker=attempt.process.pid, cache_key=key,
+                    started=start_times[task.task_id], finished=time.time(),
+                ), payload)
+            elif status == "transient" and attempt.attempt <= self.retries:
+                delay = self.backoff * (2 ** (attempt.attempt - 1))
+                pending.append((time.monotonic() + delay, task, attempt.attempt + 1))
+            else:
+                self._finish(report, manifest, TaskRecord(
+                    task_id=task.task_id, spec=task.spec, params=dict(task.params),
+                    status="failed", attempts=attempt.attempt, duration=duration,
+                    worker=attempt.process.pid, cache_key=key, error=str(payload),
+                    started=start_times[task.task_id], finished=time.time(),
+                ))
+        return progressed

@@ -1,0 +1,164 @@
+"""Declarative experiment specs and the global spec registry.
+
+An :class:`ExperimentSpec` names one experiment entry point with the
+unified ``run(setup, **params) -> Result`` signature (DESIGN.md §9),
+its default parameter grid, and the schema its result must satisfy.
+The registry maps spec names to specs so campaign tasks can be
+described as plain ``(spec_name, params)`` pairs — picklable, cache-
+keyable, and resolvable inside worker processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ...errors import CampaignError
+from ..base import ScaledSetup
+
+__all__ = ["SETUP_KEYS", "ExperimentSpec", "SpecRegistry", "REGISTRY", "register"]
+
+#: Parameter names routed into :class:`ScaledSetup` rather than passed
+#: as keyword arguments to the entry point.
+SETUP_KEYS = ("nominal_link_bps", "scale", "wire_bps", "seed")
+
+
+@dataclass
+class ExperimentSpec:
+    """One registered experiment: entry point + grid + result schema.
+
+    Attributes
+    ----------
+    name: registry key (also the CLI name: ``fv campaign run <name>``).
+    entry: the unified entry point, called as ``entry(setup, **params)``
+        where ``setup`` is a :class:`ScaledSetup` assembled from any
+        grid keys in :data:`SETUP_KEYS` (or ``None`` when a task names
+        none of them, letting the experiment use its published default).
+    description: one line for ``fv campaign list``.
+    grid: default parameter grid — each key maps to the sequence of
+        values to sweep; the campaign expands the cartesian product.
+    defaults: scalar parameters merged under every task's params (grid
+        values and per-task overrides win).
+    schema: required result attributes mapped to their expected types
+        (``None`` skips the type check for that attribute). Every
+        result must additionally expose ``to_table()``.
+    timeout: default per-task wall-clock budget in seconds (``None``
+        means unlimited unless the runner sets one).
+    """
+
+    name: str
+    entry: Callable[..., Any]
+    description: str = ""
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    schema: Mapping[str, Optional[type]] = field(default_factory=dict)
+    timeout: Optional[float] = None
+
+    def param_sets(
+        self, overrides: Optional[Mapping[str, Sequence[Any]]] = None
+    ) -> List[Dict[str, Any]]:
+        """Expand the grid (with *overrides* replacing whole axes) into
+        the list of per-task parameter dicts, in deterministic order."""
+        grid: Dict[str, Sequence[Any]] = dict(self.grid)
+        for key, values in (overrides or {}).items():
+            grid[key] = values
+        if not grid:
+            return [{}]
+        keys = sorted(grid)
+        for key in keys:
+            if not isinstance(grid[key], (list, tuple)) or not grid[key]:
+                raise CampaignError(
+                    f"grid axis {key!r} of spec {self.name!r} must be a "
+                    f"non-empty list, got {grid[key]!r}"
+                )
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(grid[key] for key in keys))
+        ]
+
+    def resolve(self, params: Mapping[str, Any]) -> Tuple[Optional[ScaledSetup], Dict[str, Any]]:
+        """Split merged (defaults + task) params into the setup and the
+        entry-point keyword arguments."""
+        merged: Dict[str, Any] = {**self.defaults, **params}
+        setup_kwargs = {key: merged.pop(key) for key in SETUP_KEYS if key in merged}
+        setup = ScaledSetup(**setup_kwargs) if setup_kwargs else None
+        return setup, merged
+
+    def execute(self, params: Mapping[str, Any]) -> Any:
+        """Run the entry point for one resolved task."""
+        setup, kwargs = self.resolve(params)
+        return self.entry(setup, **kwargs)
+
+    def validate(self, result: Any) -> None:
+        """Check *result* against the spec's schema and the unified
+        result contract (``to_table``)."""
+        if not hasattr(result, "to_table"):
+            raise CampaignError(
+                f"spec {self.name!r} returned {type(result).__name__}, "
+                "which does not expose to_table() — every unified-API "
+                "Result must"
+            )
+        for attr, expected in self.schema.items():
+            if not hasattr(result, attr):
+                raise CampaignError(
+                    f"spec {self.name!r} result is missing required "
+                    f"attribute {attr!r}"
+                )
+            if expected is not None and not isinstance(getattr(result, attr), expected):
+                raise CampaignError(
+                    f"spec {self.name!r} result attribute {attr!r} is "
+                    f"{type(getattr(result, attr)).__name__}, expected "
+                    f"{expected.__name__}"
+                )
+
+
+class SpecRegistry:
+    """Name → :class:`ExperimentSpec` mapping with duplicate detection."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec, replace: bool = False) -> ExperimentSpec:
+        if not replace and spec.name in self._specs:
+            raise CampaignError(f"spec {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "<none>"
+            raise CampaignError(
+                f"unknown experiment spec {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self._specs[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-global registry the CLI and the worker processes use.
+REGISTRY = SpecRegistry()
+
+
+def register(
+    name: str,
+    entry: Callable[..., Any],
+    *,
+    registry: Optional[SpecRegistry] = None,
+    replace: bool = False,
+    **kwargs: Any,
+) -> ExperimentSpec:
+    """Create and register an :class:`ExperimentSpec` in one call."""
+    spec = ExperimentSpec(name=name, entry=entry, **kwargs)
+    return (registry if registry is not None else REGISTRY).register(spec, replace=replace)

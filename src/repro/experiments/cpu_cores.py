@@ -18,7 +18,7 @@ does each scheduler's *scheduling work* consume?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..baselines import DpdkQosParams, DpdkQosScheduler, KernelQdiscRuntime
 from ..core import FlowValveFrontend
@@ -28,11 +28,11 @@ from ..host import FixedRateSender, HostCpu
 from ..sim import Simulator
 from ..stats.report import Table
 from ..units import line_rate_pps
-from .base import ScaledSetup
+from .base import ScaledSetup, warn_deprecated
 from .fig13 import DPDK_CORES_BY_SIZE, _fair_htb_tree
 from .policies import fair_policy
 
-__all__ = ["CpuRow", "run_cpu_comparison", "cpu_table"]
+__all__ = ["CpuRow", "CpuResult", "run", "run_cpu_comparison", "cpu_table"]
 
 
 @dataclass
@@ -58,18 +58,30 @@ def _senders(sim, factory, submit, setup: ScaledSetup, packet_size: int, cpu: Ho
         )
 
 
-def run_cpu_comparison(
-    line_rate_bps: float = 40e9,
+@dataclass
+class CpuResult:
+    """The measured §V-B core comparison (unified-API wrapper)."""
+
+    rows: List[CpuRow]
+
+    def to_table(self) -> Table:
+        return cpu_table(self.rows)
+
+
+def run(
+    setup: Optional[ScaledSetup] = None,
+    *,
     packet_size: int = 1518,
     duration: float = 20.0,
-    scale: float = 400.0,
-    seed: int = 17,
-) -> List[CpuRow]:
+) -> CpuResult:
     """Measure scheduling-cost core-equivalents for all three systems
-    at ~120% offered load of *line_rate_bps*."""
+    at ~120% offered load of ``setup.nominal_link_bps``."""
+    setup = setup if setup is not None else ScaledSetup(
+        nominal_link_bps=40e9, scale=400.0, wire_bps=40e9, seed=17)
+    line_rate_bps = setup.nominal_link_bps
+    scale = setup.scale
+    seed = setup.seed
     rows: List[CpuRow] = []
-    setup = ScaledSetup(nominal_link_bps=line_rate_bps, scale=scale,
-                        wire_bps=line_rate_bps, seed=seed)
     # DPDK-style app send cost (~300 cycles at 2.3 GHz), scaled.
     send_cost = 300 / 2.3e9 * scale
 
@@ -137,7 +149,21 @@ def run_cpu_comparison(
         sched_cores=round(cpu.report.core_equivalents(duration, "sched"), 2),
         total_cores=round(cpu.report.core_equivalents(duration, ""), 2),
     ))
-    return rows
+    return CpuResult(rows=rows)
+
+
+def run_cpu_comparison(
+    line_rate_bps: float = 40e9,
+    packet_size: int = 1518,
+    duration: float = 20.0,
+    scale: float = 400.0,
+    seed: int = 17,
+) -> List[CpuRow]:
+    """Deprecated alias for :func:`run`; returns the bare row list."""
+    warn_deprecated("run_cpu_comparison", "repro.experiments.cpu_cores.run")
+    setup = ScaledSetup(nominal_link_bps=line_rate_bps, scale=scale,
+                        wire_bps=line_rate_bps, seed=seed)
+    return run(setup, packet_size=packet_size, duration=duration).rows
 
 
 def cpu_table(rows: List[CpuRow]) -> Table:

@@ -14,19 +14,23 @@ FlowValve run (Fig. 11a) uses:
 
 from __future__ import annotations
 
-from .base import ScaledSetup, TimelineResult, run_kernel_htb_timeline
+from typing import Optional
+
+from .base import ScaledSetup, TimelineResult, run_kernel_htb_timeline, warn_deprecated
 from .policies import motivation_htb_tree
 from .workloads import motivation_demands
 
-__all__ = ["run_fig03"]
+__all__ = ["run", "run_fig03"]
+
+#: The published testbed: a 10 Gbit policy ceiling on a 40 Gbit wire —
+#: the gap is where the HTB overshoot artifact lives.
+DEFAULT_SETUP = ScaledSetup(nominal_link_bps=10e9, scale=100.0, wire_bps=40e9)
 
 
-def run_fig03(
-    setup: ScaledSetup = ScaledSetup(nominal_link_bps=10e9, scale=100.0, wire_bps=40e9),
-    duration: float = 60.0,
-) -> TimelineResult:
+def run(setup: Optional[ScaledSetup] = None, *, duration: float = 60.0) -> TimelineResult:
     """Run the kernel-HTB motivation timeline; returns nominal-rate
     bins per app."""
+    setup = setup if setup is not None else DEFAULT_SETUP
     qdisc = motivation_htb_tree(setup.link_bps, setup.scaled_wire_bps)
     demands = motivation_demands(setup.nominal_link_bps)
     result = run_kernel_htb_timeline(
@@ -37,3 +41,12 @@ def run_fig03(
         title="Fig. 3 — kernel HTB, motivation policy (10 Gbit ceiling, 40 Gbit wire)",
     )
     return result
+
+
+def run_fig03(
+    setup: ScaledSetup = DEFAULT_SETUP,
+    duration: float = 60.0,
+) -> TimelineResult:
+    """Deprecated alias for :func:`run`."""
+    warn_deprecated("run_fig03", "repro.experiments.fig03.run")
+    return run(setup, duration=duration)

@@ -7,48 +7,75 @@
 
 from __future__ import annotations
 
-from .base import ScaledSetup, TimelineResult, run_flowvalve_timeline
+from typing import Optional
+
+from .base import ScaledSetup, TimelineResult, run_flowvalve_timeline, warn_deprecated
 from .policies import fair_policy, motivation_policy, weighted_policy
 from .workloads import fair_queueing_demands, motivation_demands, weighted_demands
 
-__all__ = ["run_fig11a", "run_fig11b", "run_fig11c"]
+__all__ = ["run", "run_fig11a", "run_fig11b", "run_fig11c"]
+
+#: Published testbed per sub-figure (the 40 Gbit panels need a deeper
+#: rate scale to stay within a per-packet Python DES).
+DEFAULT_SETUPS = {
+    "a": ScaledSetup(nominal_link_bps=10e9, scale=200.0, wire_bps=10e9),
+    "b": ScaledSetup(nominal_link_bps=40e9, scale=800.0, wire_bps=40e9),
+    "c": ScaledSetup(nominal_link_bps=40e9, scale=800.0, wire_bps=40e9),
+}
+
+
+def run(
+    setup: Optional[ScaledSetup] = None,
+    *,
+    variant: str = "a",
+    duration: float = 60.0,
+) -> TimelineResult:
+    """FlowValve enforcing one of the Fig. 11 panels.
+
+    ``variant`` selects the panel: ``"a"`` motivation policy at
+    10 Gbit, ``"b"`` fair queueing at 40 Gbit with staggered joins,
+    ``"c"`` the Fig. 12 weighted hierarchy at 40 Gbit.
+    """
+    if variant not in DEFAULT_SETUPS:
+        raise ValueError(f"fig11 variant must be one of 'a'/'b'/'c', got {variant!r}")
+    setup = setup if setup is not None else DEFAULT_SETUPS[variant]
+    if variant == "a":
+        policy = motivation_policy(setup.link_bps)
+        demands = motivation_demands(setup.nominal_link_bps)
+        title = "Fig. 11(a) — FlowValve, motivation policy at 10 Gbit"
+    elif variant == "b":
+        policy = fair_policy(setup.link_bps, n_apps=4)
+        demands = fair_queueing_demands(n_apps=4, join_every=10.0, duration=duration)
+        title = "Fig. 11(b) — FlowValve fair queueing at 40 Gbit"
+    else:
+        policy = weighted_policy(setup.link_bps)
+        demands = weighted_demands(duration=duration)
+        title = "Fig. 11(c) — FlowValve weighted fair queueing at 40 Gbit"
+    return run_flowvalve_timeline(policy, demands, setup, duration=duration, title=title)
 
 
 def run_fig11a(
-    setup: ScaledSetup = ScaledSetup(nominal_link_bps=10e9, scale=200.0, wire_bps=10e9),
+    setup: ScaledSetup = DEFAULT_SETUPS["a"],
     duration: float = 60.0,
 ) -> TimelineResult:
-    """FlowValve on the motivation policy (paper Fig. 11a)."""
-    policy = motivation_policy(setup.link_bps)
-    demands = motivation_demands(setup.nominal_link_bps)
-    return run_flowvalve_timeline(
-        policy, demands, setup, duration=duration,
-        title="Fig. 11(a) — FlowValve, motivation policy at 10 Gbit",
-    )
+    """Deprecated alias for :func:`run` with ``variant="a"``."""
+    warn_deprecated("run_fig11a", "repro.experiments.fig11.run(variant='a')")
+    return run(setup, variant="a", duration=duration)
 
 
 def run_fig11b(
-    setup: ScaledSetup = ScaledSetup(nominal_link_bps=40e9, scale=800.0, wire_bps=40e9),
+    setup: ScaledSetup = DEFAULT_SETUPS["b"],
     duration: float = 60.0,
 ) -> TimelineResult:
-    """FlowValve fair queueing at 40 Gbit (paper Fig. 11b)."""
-    policy = fair_policy(setup.link_bps, n_apps=4)
-    demands = fair_queueing_demands(n_apps=4, join_every=10.0, duration=duration)
-    return run_flowvalve_timeline(
-        policy, demands, setup, duration=duration,
-        title="Fig. 11(b) — FlowValve fair queueing at 40 Gbit",
-    )
+    """Deprecated alias for :func:`run` with ``variant="b"``."""
+    warn_deprecated("run_fig11b", "repro.experiments.fig11.run(variant='b')")
+    return run(setup, variant="b", duration=duration)
 
 
 def run_fig11c(
-    setup: ScaledSetup = ScaledSetup(nominal_link_bps=40e9, scale=800.0, wire_bps=40e9),
+    setup: ScaledSetup = DEFAULT_SETUPS["c"],
     duration: float = 60.0,
 ) -> TimelineResult:
-    """FlowValve weighted fair queueing at 40 Gbit (paper Fig. 11c,
-    policies of Fig. 12)."""
-    policy = weighted_policy(setup.link_bps)
-    demands = weighted_demands(duration=duration)
-    return run_flowvalve_timeline(
-        policy, demands, setup, duration=duration,
-        title="Fig. 11(c) — FlowValve weighted fair queueing at 40 Gbit",
-    )
+    """Deprecated alias for :func:`run` with ``variant="c"``."""
+    warn_deprecated("run_fig11c", "repro.experiments.fig11.run(variant='c')")
+    return run(setup, variant="c", duration=duration)

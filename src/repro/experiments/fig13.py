@@ -28,9 +28,10 @@ from ..stats.report import Table
 from ..tc.ast import FilterSpec
 from ..tc.classifier import Classifier
 from ..units import line_rate_pps
+from .base import ScaledSetup, warn_deprecated
 from .policies import fair_policy
 
-__all__ = ["Fig13Row", "run_fig13", "PAPER_FIG13"]
+__all__ = ["Fig13Row", "Fig13Result", "run", "run_fig13", "PAPER_FIG13"]
 
 #: Published numbers (Mpps) for the sizes quoted in the paper's text;
 #: ``None`` marks sizes shown only graphically.
@@ -120,13 +121,29 @@ def _measure_dpdk(size: int, n_cores: int, window: float, seed: int) -> float:
     return delivered_pps / 1e6
 
 
-def run_fig13(
+@dataclass
+class Fig13Result:
+    """The measured Fig. 13 table (unified-API result wrapper)."""
+
+    rows: List[Fig13Row]
+
+    def to_table(self) -> Table:
+        return fig13_table(self.rows)
+
+
+def run(
+    setup: Optional[ScaledSetup] = None,
+    *,
     sizes: Optional[List[int]] = None,
     window: float = 0.002,
-    seed: int = 11,
-) -> List[Fig13Row]:
+) -> Fig13Result:
     """Measure the Fig. 13 table. ``window`` is the full-rate
-    measurement window in (simulated) seconds per cell."""
+    measurement window in (simulated) seconds per cell.
+
+    Throughput-capacity runs execute at *full* modelled rates, so only
+    ``setup.seed`` is consumed; the rate-scale fields are ignored.
+    """
+    seed = setup.seed if setup is not None else 11
     sizes = sizes if sizes is not None else [64, 128, 256, 512, 1024, 1518]
     rows: List[Fig13Row] = []
     for size in sorted(sizes, reverse=True):
@@ -145,7 +162,18 @@ def run_fig13(
                 paper_dpdk=paper.get("dpdk"),
             )
         )
-    return rows
+    return Fig13Result(rows=rows)
+
+
+def run_fig13(
+    sizes: Optional[List[int]] = None,
+    window: float = 0.002,
+    seed: int = 11,
+) -> List[Fig13Row]:
+    """Deprecated alias for :func:`run`; returns the bare row list."""
+    warn_deprecated("run_fig13", "repro.experiments.fig13.run")
+    setup = ScaledSetup(nominal_link_bps=40e9, scale=1.0, wire_bps=40e9, seed=seed)
+    return run(setup, sizes=sizes, window=window).rows
 
 
 def fig13_table(rows: List[Fig13Row]) -> Table:

@@ -33,11 +33,19 @@ from ..host import FixedRateSender, TcpApp, TcpParams, TcpRegistry
 from ..sim import Simulator
 from ..stats.latency import LatencySummary, summarize_latencies
 from ..stats.report import Table
-from .base import ScaledSetup
+from .base import ScaledSetup, warn_deprecated
 from .fig13 import _fair_htb_tree
 from .policies import fair_policy
 
-__all__ = ["Fig14Row", "run_fig14", "fig14_table", "PAPER_FIG14", "NIC_PIPELINE_LATENCY"]
+__all__ = [
+    "Fig14Row",
+    "Fig14Result",
+    "run",
+    "run_fig14",
+    "fig14_table",
+    "PAPER_FIG14",
+    "NIC_PIPELINE_LATENCY",
+]
 
 #: The paper's measured one-way delays (µs); jitter described as
 #: "almost no variations" for FlowValve, large for HTB.
@@ -143,15 +151,32 @@ def _dpdk_delay(setup: ScaledSetup, duration: float, n_cores: int = 2) -> Latenc
     return summarize_latencies(sink.delays).scaled(1.0 / setup.scale)
 
 
-def run_fig14(
+@dataclass
+class Fig14Result:
+    """The measured Fig. 14 delay comparison (unified-API wrapper)."""
+
+    rows: List[Fig14Row]
+
+    def to_table(self) -> Table:
+        return fig14_table(self.rows)
+
+
+def run(
+    setup: Optional[ScaledSetup] = None,
+    *,
     duration: float = 30.0,
-    scale: float = 100.0,
-    seed: int = 13,
-) -> List[Fig14Row]:
+) -> Fig14Result:
     """Measure one-way delay for every (scheduler, rate) the paper
     reports: FlowValve and DPDK at 10 and 40 Gbit; HTB at 10 only
     ("HTB cannot enforce network policies correctly on these high
-    speed links")."""
+    speed links").
+
+    ``setup`` supplies the 10 Gbit base scale and the seed; the sweep
+    builds its own per-rate setups from them (the 40 Gbit points scale
+    proportionally deeper).
+    """
+    scale = setup.scale if setup is not None else 100.0
+    seed = setup.seed if setup is not None else 13
     rows: List[Fig14Row] = []
     for rate in (10e9, 40e9):
         setup = ScaledSetup(nominal_link_bps=rate, scale=scale * rate / 10e9,
@@ -169,7 +194,18 @@ def run_fig14(
             "DPDK QoS", rate, _dpdk_delay(setup, duration),
             PAPER_FIG14["dpdk"].get(rate),
         ))
-    return rows
+    return Fig14Result(rows=rows)
+
+
+def run_fig14(
+    duration: float = 30.0,
+    scale: float = 100.0,
+    seed: int = 13,
+) -> List[Fig14Row]:
+    """Deprecated alias for :func:`run`; returns the bare row list."""
+    warn_deprecated("run_fig14", "repro.experiments.fig14.run")
+    base = ScaledSetup(nominal_link_bps=10e9, scale=scale, wire_bps=10e9, seed=seed)
+    return run(base, duration=duration).rows
 
 
 def fig14_table(rows: List[Fig14Row]) -> Table:

@@ -20,7 +20,7 @@ Two findings worth knowing before trusting any policer in production
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core import FlowValveFrontend
 from ..host import TcpApp, TcpParams, TcpRegistry
@@ -29,10 +29,13 @@ from ..net import PacketFactory, PacketSink
 from ..nic import NicPipeline
 from ..sim import Simulator
 from ..stats.report import Table
-from .base import ScaledSetup
+from .base import ScaledSetup, warn_deprecated
 from .policies import motivation_policy
 
-__all__ = ["TcpRealismResult", "run_tcp_realism", "tcp_realism_table"]
+__all__ = ["TcpRealismResult", "run", "run_tcp_realism", "tcp_realism_table"]
+
+#: The published testbed for both TCP-realism regimes.
+DEFAULT_SETUP = ScaledSetup(nominal_link_bps=10e9, scale=100.0, wire_bps=10e9, seed=21)
 
 
 @dataclass
@@ -43,6 +46,7 @@ class TcpRealismResult:
     achieved: Dict[str, float]
     total_target: float
     total_achieved: float
+    title: str = "TCP realism — policy targets vs TCP-achieved shares"
 
     def drift(self, app: str) -> float:
         """Relative deviation of *app* from its policy target."""
@@ -51,11 +55,37 @@ class TcpRealismResult:
             return 0.0
         return (self.achieved[app] - target) / target
 
+    def to_table(self) -> Table:
+        return tcp_realism_table(self, self.title)
 
-def run_tcp_realism(
-    setup: ScaledSetup = ScaledSetup(nominal_link_bps=10e9, scale=100.0, wire_bps=10e9, seed=21),
+
+def run(
+    setup: Optional[ScaledSetup] = None,
+    *,
+    regime: str = "shared",
     duration: float = 40.0,
     connections_per_app: int = 1,
+) -> TcpRealismResult:
+    """Run one TCP-realism regime (unified API).
+
+    ``regime="shared"`` holds NC at its 2 Gbit management demand so the
+    weighted split among WS/KVS/ML is observable; ``"backlogged"``
+    backlogs all four apps, letting NC's strict priority take the link.
+    """
+    setup = setup if setup is not None else DEFAULT_SETUP
+    if regime == "shared":
+        return _run_shared(setup, duration)
+    if regime == "backlogged":
+        return _run_backlogged(setup, duration, connections_per_app)
+    raise ValueError(
+        f"tcp_realism regime must be 'shared' or 'backlogged', got {regime!r}"
+    )
+
+
+def _run_backlogged(
+    setup: ScaledSetup,
+    duration: float,
+    connections_per_app: int,
 ) -> TcpRealismResult:
     """All four motivation-example apps backlogged via TCP for the
     whole run; steady-state shares measured over the second half."""
@@ -102,13 +132,11 @@ def run_tcp_realism(
         achieved=achieved,
         total_target=b,
         total_achieved=sum(achieved.values()),
+        title="TCP realism (backlogged regime) — targets vs achieved",
     )
 
 
-def run_tcp_realism_shared(
-    setup: ScaledSetup = ScaledSetup(nominal_link_bps=10e9, scale=100.0, wire_bps=10e9, seed=21),
-    duration: float = 40.0,
-) -> TcpRealismResult:
+def _run_shared(setup: ScaledSetup, duration: float) -> TcpRealismResult:
     """The sharing regime: NC held at its 2 Gbit management demand so
     the weighted/guaranteed split among WS/KVS/ML is observable under
     TCP."""
@@ -155,7 +183,28 @@ def run_tcp_realism_shared(
         achieved=achieved,
         total_target=0.97 * b,
         total_achieved=sum(achieved.values()),
+        title="TCP realism (shared regime) — targets vs achieved",
     )
+
+
+def run_tcp_realism(
+    setup: ScaledSetup = DEFAULT_SETUP,
+    duration: float = 40.0,
+    connections_per_app: int = 1,
+) -> TcpRealismResult:
+    """Deprecated alias for :func:`run` with ``regime="backlogged"``."""
+    warn_deprecated("run_tcp_realism", "repro.experiments.tcp_realism.run(regime='backlogged')")
+    return run(setup, regime="backlogged", duration=duration,
+               connections_per_app=connections_per_app)
+
+
+def run_tcp_realism_shared(
+    setup: ScaledSetup = DEFAULT_SETUP,
+    duration: float = 40.0,
+) -> TcpRealismResult:
+    """Deprecated alias for :func:`run` with ``regime="shared"``."""
+    warn_deprecated("run_tcp_realism_shared", "repro.experiments.tcp_realism.run(regime='shared')")
+    return run(setup, regime="shared", duration=duration)
 
 
 def tcp_realism_table(result: TcpRealismResult, title: str) -> Table:

@@ -48,6 +48,21 @@ class HotpathResult:
             f"{self.events_per_packet:.1f} ev/pkt)"
         )
 
+    def to_table(self):
+        """Render as a metric/value table (unified experiment-result
+        contract; campaign runs of the ``hotpath`` spec report through
+        this)."""
+        from .report import Table
+
+        table = Table(f"hotpath — {self.label}", ["metric", "value"])
+        table.add_row("wall seconds", f"{self.wall_seconds:.3f}")
+        table.add_row("events", self.events)
+        table.add_row("packets", self.packets)
+        table.add_row("events/sec", f"{self.events_per_sec:,.0f}")
+        table.add_row("packets/sec", f"{self.packets_per_sec:,.0f}")
+        table.add_row("events/packet", f"{self.events_per_packet:.2f}")
+        return table
+
 
 def measure_run(
     sim,

@@ -65,12 +65,31 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "A" in out and "B" in out and "total" in out
 
-    def test_requires_an_app(self, policy_file, capsys):
-        assert main(["simulate", policy_file]) == 1
-        assert "--app" in capsys.readouterr().err
+    def test_requires_an_app(self, policy_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", policy_file])
+        assert "--app" in str(excinfo.value)
 
-    def test_rejects_malformed_app_spec(self, policy_file, capsys):
-        assert main(["simulate", policy_file, "--app", "nonsense"]) == 1
+    def test_rejects_malformed_app_spec(self, policy_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", policy_file, "--app", "nonsense"])
+        assert "NAME=RATE" in str(excinfo.value)
+        assert "'nonsense'" in str(excinfo.value)
+
+    def test_rejects_duplicate_app_names(self, policy_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "simulate", policy_file,
+                "--app", "A=2mbit", "--app", "A=4mbit",
+            ])
+        assert "duplicate app name 'A'" in str(excinfo.value)
+
+    def test_rejects_bad_rate_suffix(self, policy_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", policy_file, "--app", "A=5zbit"])
+        message = str(excinfo.value)
+        assert "bad rate for app 'A'" in message
+        assert "zbit" in message
 
     def test_nic_mode_with_trace_and_metrics(self, tmp_path, capsys):
         # The DES pipeline wants a policy whose rates justify scaling.

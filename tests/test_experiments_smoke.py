@@ -14,9 +14,9 @@ from repro.experiments import (
     fair_policy,
     motivation_policy,
     run_flowvalve_timeline,
-    run_update_interval_sensitivity,
     weighted_policy,
 )
+from repro.experiments import ablations
 from repro.experiments.fig13 import PAPER_FIG13, _measure_flowvalve
 from repro.experiments.workloads import fair_queueing_demands, motivation_demands
 from repro.host.traffic import windows
@@ -121,10 +121,12 @@ class TestMiniRuns:
         # Epoch-granted refill distorts short-window rates once ΔT
         # reaches the measurement window (1.0 s vs the 0.5 s windows);
         # the continuous (hardware-meter) mode never does.
-        errors = run_update_interval_sensitivity(intervals=[0.05, 1.0], duration=10.0)
+        result = ablations.interval_sensitivity(intervals=[0.05, 1.0], duration=10.0)
+        errors = result.overshoot
         assert errors[1.0]["epoch"] > 0.5
         assert errors[1.0]["epoch"] > errors[0.05]["epoch"]
         assert errors[0.05]["continuous"] < 0.2
+        assert "ΔT" in result.to_table().render()
 
     def test_paper_reference_values_present(self):
         assert PAPER_FIG13[64]["flowvalve"] == 19.69
@@ -136,8 +138,43 @@ class TestTcpRealismVariants:
         """With every app (including NC) backlogged, NC's strict
         priority takes the whole link — the other regime of the
         TCP-realism experiment."""
-        from repro.experiments.tcp_realism import run_tcp_realism
+        from repro.experiments import tcp_realism
 
-        result = run_tcp_realism(duration=15.0)
+        result = tcp_realism.run(regime="backlogged", duration=15.0)
         assert result.achieved["NC"] > 0.8 * result.total_target
         assert result.total_achieved < 1.05 * result.total_target
+
+
+class TestUnifiedApi:
+    """The run(setup, **params) -> Result contract and its shims."""
+
+    def test_legacy_shim_warns_and_returns_legacy_shape(self):
+        from repro.experiments.ablations import run_update_interval_sensitivity
+
+        with pytest.warns(DeprecationWarning, match="run_update_interval_sensitivity"):
+            errors = run_update_interval_sensitivity(intervals=[0.5], duration=5.0)
+        # The shim keeps the historical bare-dict return shape.
+        assert set(errors) == {0.5}
+        assert set(errors[0.5]) == {"epoch", "continuous"}
+
+    def test_unified_results_expose_to_table(self):
+        result = ablations.interval_sensitivity(intervals=[0.5], duration=5.0)
+        table = result.to_table()
+        assert hasattr(table, "render") and "0.5" in table.render()
+
+    def test_setup_threads_seed(self):
+        from repro.experiments import fig13
+
+        result = fig13.run(
+            ScaledSetup(nominal_link_bps=40e9, scale=1.0, wire_bps=40e9, seed=5),
+            sizes=[1518], window=0.001,
+        )
+        assert [row.size for row in result.rows] == [1518]
+        assert result.rows[0].flowvalve_mpps > 0
+
+    def test_for_link_constructor(self):
+        setup = ScaledSetup.for_link(25e9, scale=50.0, seed=3)
+        assert setup.nominal_link_bps == 25e9
+        assert setup.wire_bps == 25e9
+        assert setup.scale == 50.0
+        assert setup.seed == 3
