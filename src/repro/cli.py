@@ -13,6 +13,7 @@ replayed:
                                              # software-mode what-if run
    $ fv campaign run fig13 --workers 4      # parallel experiment grid
    $ fv campaign status --manifest campaign.manifest.jsonl
+   $ fv bench --baseline BENCH_hotpath.json # hot-path perf + regression gate
 
 ``simulate`` runs the policy in software mode against constant-rate
 app demands and prints the achieved rate per app — a quick what-if
@@ -128,6 +129,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--trace-limit", type=int, default=0,
         help="cap on stored trace records, oldest evicted (0 = unlimited)",
+    )
+
+    bench = sub.add_parser(
+        "bench", parents=[_sim_parent(explicit=True)],
+        help="hot-path microbenchmark: kernel events/sec, packets/sec",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_hotpath.json", metavar="JSON",
+        help="result artifact path (default BENCH_hotpath.json)",
+    )
+    bench.add_argument(
+        "--profile", default=None, metavar="OUT.pstats",
+        help="also profile the run with cProfile and dump stats here",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="committed BENCH json to regress against: exit 1 when "
+             "events/packet exceeds the baseline by more than the "
+             "tolerance (the ratio is deterministic per seed, so this "
+             "works across machines)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="allowed relative events/packet increase vs --baseline "
+             "(default 0.02)",
     )
 
     campaign = sub.add_parser(
@@ -355,6 +381,85 @@ def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Di
 
 
 # ----------------------------------------------------------------------
+# fv bench
+# ----------------------------------------------------------------------
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``fv bench``: the E-PERF hot-path microbenchmark from the shell.
+
+    Runs the same seeded Fig. 11(a) workload as
+    ``benchmarks/test_bench_hotpath.py`` (builder shared through
+    :mod:`repro.experiments.hotpath`), prints the one-line summary and
+    persists the JSON artifact. With ``--baseline`` it doubles as the
+    CI regression gate on the deterministic events/packet ratio.
+    """
+    import json
+    from dataclasses import replace as dc_replace
+
+    from .experiments import hotpath
+    from .stats.perf import measure_run, write_json
+
+    # The shared flags use suppressed defaults; the bench's canonical
+    # point is the recorded reference config (seed 7, scale 200, 20 s).
+    seed = getattr(args, "seed", hotpath.DEFAULT_SETUP.seed)
+    scale = getattr(args, "scale", hotpath.DEFAULT_SETUP.scale)
+    duration = getattr(args, "duration", hotpath.DEFAULT_DURATION)
+    if scale <= 0:
+        raise ReproError(f"--scale must be positive, got {scale}")
+    if duration <= 0:
+        raise ReproError(f"--duration must be positive, got {duration}")
+    setup = dc_replace(hotpath.DEFAULT_SETUP, scale=scale, seed=seed)
+    sim, nic = hotpath.build(setup)
+
+    profiler = None
+    run = lambda: sim.run(until=duration)  # noqa: E731 - tiny closure
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        inner = run
+        run = lambda: profiler.runcall(inner)  # noqa: E731
+
+    result = measure_run(
+        sim, run, lambda: nic.submitted,
+        label=f"fig11a-scale{setup.scale:g}-{duration:g}s",
+    )
+    if profiler is not None:
+        profiler.dump_stats(args.profile)
+    print(result.summary())
+
+    extra = {
+        "seed": seed,
+        "seed_events": hotpath.SEED_EVENTS,
+        "seed_packets": hotpath.SEED_PACKETS,
+        "seed_pkt_per_sec_ref": hotpath.SEED_PKT_PER_SEC,
+        "speedup_pkt_per_sec_vs_seed": result.packets_per_sec / hotpath.SEED_PKT_PER_SEC,
+        "kernel_events_cut_vs_seed": (
+            hotpath.SEED_EVENTS / result.events if result.events else 0.0
+        ),
+    }
+    write_json(args.out, result, extra=extra)
+    print(f"artifact: {args.out}")
+    if args.profile:
+        print(f"profile: {args.profile}")
+
+    if args.baseline is not None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        base_epp = baseline["events_per_packet"]
+        limit = base_epp * (1.0 + args.tolerance)
+        delta = (result.events_per_packet - base_epp) / base_epp if base_epp else 0.0
+        verdict = "ok" if result.events_per_packet <= limit else "REGRESSION"
+        print(
+            f"baseline {args.baseline}: events/packet "
+            f"{base_epp:.3f} -> {result.events_per_packet:.3f} "
+            f"({delta:+.2%}, tolerance {args.tolerance:.0%}): {verdict}"
+        )
+        if result.events_per_packet > limit:
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # fv campaign
 # ----------------------------------------------------------------------
 def _split_grid_values(text: str) -> List[str]:
@@ -502,6 +607,8 @@ def main(argv=None) -> int:
             return _cmd_show(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "campaign":
             if args.campaign_command == "list":
                 return _cmd_campaign_list(args)

@@ -22,10 +22,31 @@ from .base import ScaledSetup, _scale_demand
 from .policies import motivation_policy
 from .workloads import motivation_demands
 
-__all__ = ["DEFAULT_SETUP", "build", "run"]
+__all__ = [
+    "DEFAULT_SETUP",
+    "DEFAULT_DURATION",
+    "SEED_EVENTS",
+    "SEED_PACKETS",
+    "SEED_PKT_PER_SEC",
+    "build",
+    "run",
+]
 
 #: The reference configuration every recorded hotpath number uses.
 DEFAULT_SETUP = ScaledSetup(nominal_link_bps=10e9, scale=200.0, wire_bps=10e9)
+
+#: Simulated horizon of the canonical benchmark run.
+DEFAULT_DURATION = 20.0
+
+#: v0 seed-code reference on this workload (commit c37e241, measured
+#: interleaved with the optimized build on the same host): the seed
+#: executed 2,887,785 kernel events for the same 179,154 packets
+#: (16.1 ev/pkt) in ~9.4-11.8 s wall (~17.5k pkt/s). Shared by the
+#: bench suite and ``fv bench`` so every artifact reports the same
+#: vs-seed ratios.
+SEED_EVENTS = 2_887_785
+SEED_PACKETS = 179_154
+SEED_PKT_PER_SEC = 17_500.0
 
 
 def build(setup: Optional[ScaledSetup] = None) -> Tuple[Simulator, NicPipeline]:

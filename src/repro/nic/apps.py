@@ -11,13 +11,13 @@ into the Micro-C processing loop.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
 
 from ..core.labeling import LabelingFunction
 from ..core.scheduling import SchedulingFunction, Verdict
 from ..core.token_bucket import MeterColor
 from ..net.packet import DropReason, Packet
-from ..sim import Lock
+from ..sim import At, Lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pipeline import NicPipeline
@@ -36,6 +36,17 @@ class NicApp:
         """Process one packet; yield time costs; return a Verdict."""
         raise NotImplementedError
         yield  # pragma: no cover - makes this a generator function
+
+    def fast_handler(self) -> Optional[Callable[[Packet], Generator]]:
+        """A single-wakeup replacement for the worker's ``fixed
+        overhead + handle()`` sequence, or None when the app (or its
+        configuration) has no semantically-identical fast form.
+
+        Contract: the returned generator charges the pipeline's fixed
+        overhead itself (its first yield covers it) and resumes at
+        bit-identical absolute times to the slow sequence.
+        """
+        return None
 
 
 class ForwardAllApp(NicApp):
@@ -193,6 +204,133 @@ class FlowValveNicApp(NicApp):
         size_bits = params.packet_bits(packet.size)
         sec = cyc.get(costs.meter)
         yield sec if sec is not None else cycles(costs.meter)
+        if params.continuous_refill:
+            leaf.bucket.refill(sim._now)
+        color = leaf.bucket.meter(size_bits)
+        borrowed_from = None
+        if color is not MeterColor.GREEN:
+            if params.borrow_enabled:
+                for lender_id in packet.borrow_label:
+                    lender = scheduler.tree.node(lender_id)
+                    for leaf_lender in lender.leaf_descendants():
+                        if leaf_lender.try_begin_update(sim._now):
+                            yield cycles(costs.borrow_query + costs.update_body)
+                            leaf_lender.perform_update(sim._now)
+                            leaf_lender.end_update()
+                            stats.updates_run += 1
+                        else:
+                            yield cycles(costs.borrow_query)
+                        if leaf_lender.shadow.meter(size_bits) is MeterColor.GREEN:
+                            leaf_lender.lent_bits += size_bits
+                            if scheduler.tracer is not None:
+                                scheduler.tracer.emit(
+                                    sim._now, "core.sched", "borrow",
+                                    borrower=path[-1].classid,
+                                    lender=leaf_lender.classid,
+                                    bits=size_bits,
+                                )
+                            borrowed_from = leaf_lender
+                            break
+                    if borrowed_from is not None:
+                        break
+            if borrowed_from is None:
+                stats.dropped += 1
+                stats.decisions += 1
+                packet.mark_dropped(DropReason.SCHED_RED)
+                return Verdict.DROP
+        scheduler.commit(packet, path, borrowed_from, size_bits=size_bits)
+        stats.decisions += 1
+        return Verdict.FORWARD
+
+    def fast_handler(self) -> Optional[Callable[[Packet], Generator]]:
+        """Fast form exists only for trylock — the blocking modes need
+        true lock interleaving between workers."""
+        if self.pipeline.config.lock_mode == "trylock":
+            return self.handle_fast
+        return None
+
+    def handle_fast(self, packet: Packet) -> Generator:
+        """The trylock ``handle`` path with its fixed-cost yields
+        pre-aggregated (DESIGN.md §7).
+
+        Replaces the worker's four-plus wakeups per packet (fixed
+        overhead, EMC, trailing skip-cost, meter) with two, while
+        keeping every shared-state operation at the exact wall time the
+        multi-yield path performs it:
+
+        * the labeler runs at the *virtual* timestamp ``now + fixed
+          overhead``; only worker chains touch labeler state and the
+          constant shift preserves their relative order, so hit/miss
+          outcomes and cache evolution are unchanged;
+        * the first resume lands at ``(now + overhead) + emc`` —
+          accumulated term by term on a virtual clock and yielded as
+          an absolute :class:`~repro.sim.At` target, so the timestamp
+          is bit-identical to the slow path's chained resumes;
+        * update-epoch wins and borrow queries still yield for real:
+          their flag-hold windows are what other workers observe;
+        * the trailing skip-cost and the meter charge merge into one
+          resume — the slow path performs no shared-state operation
+          between those two wakeups, so the merge is exact.
+        """
+        pipeline = self.pipeline
+        sim = pipeline.sim
+        costs = pipeline.config.costs
+        cycles = self._cycles
+        cyc = self._cycles_cache
+
+        # --- labeling function, at virtual time now+fixed_overhead ----
+        labeler = self.labeler
+        cache = labeler.cache
+        hits_before = cache.hits if cache is not None else 0
+        t = sim._now + cycles(costs.fixed_overhead)
+        label = labeler.label(packet, t)
+        if label is None:
+            # The worker still pays the fixed overhead before dropping.
+            yield At(t)
+            return Verdict.DROP
+        if cache is not None and cache.hits > hits_before:
+            t += cycles(costs.emc_hit)
+        else:
+            t += cycles(
+                costs.emc_hit + costs.classify_per_rule * max(1, len(labeler.classifier))
+            )
+        at = At(t)
+        yield at
+
+        # --- scheduling function (Algorithm 1), at real wall times ----
+        scheduler = self.scheduler
+        path = scheduler.path_nodes(packet)
+        scheduler.touch_path(path, sim._now)
+        stats = scheduler.stats
+        params = scheduler.params
+        per_class = costs.sched_per_class
+        trylock_cost = costs.update_trylock
+        update_body = costs.update_body
+        accumulated = 0
+        for node in path:
+            accumulated += per_class
+            if node.try_begin_update(sim._now):
+                n = accumulated + update_body
+                sec = cyc.get(n)
+                yield sec if sec is not None else cycles(n)
+                accumulated = 0
+                node.perform_update(sim._now)
+                node.end_update()
+                stats.updates_run += 1
+            else:
+                accumulated += trylock_cost
+                stats.updates_skipped += 1
+        t = sim._now
+        if accumulated:
+            sec = cyc.get(accumulated)
+            t += sec if sec is not None else cycles(accumulated)
+        sec = cyc.get(costs.meter)
+        t += sec if sec is not None else cycles(costs.meter)
+        at.time = t
+        yield at
+
+        leaf = path[-1]
+        size_bits = params.packet_bits(packet.size)
         if params.continuous_refill:
             leaf.bucket.refill(sim._now)
         color = leaf.bucket.meter(size_bits)

@@ -10,13 +10,31 @@ transiently exhaust the pool even when long-run demand fits.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+
 from ..errors import BufferExhausted, CapacityError
 
 __all__ = ["BufferPool"]
 
 
 class BufferPool:
-    """Counted packet buffers with delayed recycling."""
+    """Counted packet buffers with delayed recycling.
+
+    Two release routes coexist:
+
+    * :meth:`release` — schedules a ``_relink`` simulator event after
+      the recycle delay (one kernel event per free). The observable
+      route: the free count advances with the clock even when nobody
+      looks.
+    * :meth:`release_at` — the *lazy* fast-path route: the relink time
+      goes on a heap and matured entries are folded into the free
+      count the next time anything observes it (``try_allocate`` or
+      the ``free`` property). ``_free`` is only ever read at those
+      observation points, so deferring the bookkeeping to them is
+      exactly equivalent — same allocation outcomes, same ``min_free``
+      (the free count only falls at allocations, so sampling the
+      low-water mark there loses nothing) — with zero kernel events.
+    """
 
     def __init__(self, sim, count: int, recycle_delay: float = 2e-6):
         if count <= 0:
@@ -26,6 +44,8 @@ class BufferPool:
         self.recycle_delay = recycle_delay
         self._free = count
         self._outstanding = 0
+        #: Heap of pending lazy relink times (release_at route).
+        self._pending: list = []
         #: Arrivals dropped for lack of a free buffer.
         self.exhaustion_drops = 0
         #: Low-water mark of the free list (diagnostic).
@@ -34,7 +54,19 @@ class BufferPool:
     @property
     def free(self) -> int:
         """Buffers currently on the free list."""
+        if self._pending:
+            self._drain_pending(self.sim._now)
         return self._free
+
+    def _drain_pending(self, now: float) -> None:
+        pending = self._pending
+        free = self._free
+        while pending and pending[0] <= now:
+            heappop(pending)
+            free += 1
+        if free > self.count:
+            raise BufferExhausted("buffer pool over-released")
+        self._free = free
 
     @property
     def outstanding(self) -> int:
@@ -43,6 +75,8 @@ class BufferPool:
 
     def try_allocate(self) -> bool:
         """Take one buffer; False (counted) when the list is empty."""
+        if self._pending:
+            self._drain_pending(self.sim._now)
         if self._free == 0:
             self.exhaustion_drops += 1
             return False
@@ -62,6 +96,14 @@ class BufferPool:
             self.sim.schedule(self.recycle_delay, self._relink)
         else:
             self._relink()
+
+    def release_at(self, time: float) -> None:
+        """Free one buffer effective at *time* + the recycle delay,
+        without a simulator event (see the class docstring)."""
+        if self._outstanding == 0:
+            raise BufferExhausted("release without a matching allocation")
+        self._outstanding -= 1
+        heappush(self._pending, time + self.recycle_delay)
 
     def _relink(self) -> None:
         self._free += 1

@@ -88,6 +88,12 @@ class NicConfig:
     #: "per_class_block" (Fig. 7c), "global_block" (naive offload),
     #: "sequential" (Fig. 7b: one worker does all scheduling).
     lock_mode: str = "trylock"
+    #: Allow the batched egress + single-wakeup packet fast path
+    #: (DESIGN.md §7). Semantically identical to the multi-yield slow
+    #: path — seeded runs are bit-identical either way — and engaged
+    #: only while tracing and metrics are off; set False to force the
+    #: slow path (equivalence tests, debugging).
+    fast_path: bool = True
     #: Per-operation cycle budgets.
     costs: CycleCosts = field(default_factory=CycleCosts)
     #: Memory hierarchy (documentation + latency-hiding math).

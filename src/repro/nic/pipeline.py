@@ -64,11 +64,30 @@ class NicPipeline:
             receiver=receiver,
             name="nic-wire",
         )
-        self.tx_ring = TxRing(sim, depth=config.tx_ring_depth)
-        self.traffic_manager = TrafficManager(sim, self.tx_ring, self.link, on_sent=self._on_sent)
+        # The batched fast path (DESIGN.md §7) engages only while
+        # observability is off: traces and metrics sample mid-packet
+        # state the pre-aggregated path doesn't stop at.
+        fast = config.fast_path and not sim.tracer.enabled and not sim.metrics.enabled
+        #: True when this pipeline runs the batched egress + lazy
+        #: buffer-return fast path (bit-identical to the slow path).
+        self.fast_path = fast
+        self.tx_ring = TxRing(sim, depth=config.tx_ring_depth, virtual=fast)
+        self.traffic_manager = TrafficManager(
+            sim, self.tx_ring, self.link,
+            on_sent=self._on_sent,
+            on_sent_at=self._on_sent_at if fast else None,
+            fast=fast,
+        )
         self.dispatch = Store(sim, capacity=config.dispatch_depth, name="nic-dispatch")
         self.buffers = BufferPool(sim, config.buffer_count, config.buffer_recycle_delay)
-        self.reorder = ReorderBuffer(self._emit_to_tx, sim=sim) if config.reorder_enabled else None
+        emit = self._emit_to_tx_fast if fast else self._emit_to_tx
+        self._emit = emit
+        self.reorder = None
+        if config.reorder_enabled:
+            self.reorder = ReorderBuffer(
+                emit, sim=sim,
+                emit_burst=self._emit_burst if fast else None,
+            )
         # --- statistics ------------------------------------------------
         self.submitted = 0
         self.forwarded = 0
@@ -100,7 +119,14 @@ class NicPipeline:
         else:
             self._drop_counters = None
         app.bind(self)
-        self._workers = [sim.process(self._worker(i)) for i in range(config.n_workers)]
+        # The app may provide a pre-aggregated handler (single-wakeup
+        # packet path); without one the generic loop runs even in fast
+        # mode (the egress/buffer fast paths still apply).
+        fast_handle = app.fast_handler() if fast else None
+        self._fast_handle = fast_handle
+        self._arrive_dma = self._arrive_fast if fast else self._arrive
+        worker = self._worker_fast if fast_handle is not None else self._worker
+        self._workers = [sim.process(worker(i)) for i in range(config.n_workers)]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -131,11 +157,19 @@ class NicPipeline:
         if not self.buffers.try_allocate():
             self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
             return False
-        self.sim.schedule(self.config.rx_dma_latency, self._arrive, packet)
+        self.sim.schedule(self.config.rx_dma_latency, self._arrive_dma, packet)
         return True
 
     def _arrive(self, packet: Packet) -> None:
         if not self.dispatch.try_put(packet):
+            self._drop(packet, DropReason.QUEUE_FULL)
+
+    def _arrive_fast(self, packet: Packet) -> None:
+        # Synchronous handoff to a parked worker (DESIGN.md §7): the
+        # worker resumes inside this DMA-completion callback instead of
+        # through a zero-delay event — the dominant per-packet handoff
+        # when workers outnumber the offered load.
+        if not self.dispatch.try_put_now(packet):
             self._drop(packet, DropReason.QUEUE_FULL)
 
     # ------------------------------------------------------------------
@@ -152,7 +186,7 @@ class NicPipeline:
         dispatch_get = self.dispatch.get
         reorder = self.reorder
         handle = self.app.handle
-        emit = self._emit_to_tx
+        emit = self._emit
         drop = self._drop
         fixed_overhead = self.config.seconds(self.config.costs.fixed_overhead)
         forward = Verdict.FORWARD
@@ -180,6 +214,42 @@ class NicPipeline:
                 reason = packet.drop_reason if packet.drop_reason is not None else DropReason.SCHED_RED
                 drop(packet, reason, already_marked=True)
 
+    def _worker_fast(self, worker_id: int):
+        """Fast-path worker loop (DESIGN.md §7).
+
+        Differs from :meth:`_worker` in two ways, both invisible to the
+        model: the app's pre-aggregated handler charges the fixed
+        overhead itself (inside its first merged wakeup), and when the
+        dispatch queue is non-empty the next packet is taken
+        synchronously (``try_get``) instead of paying a resume event
+        for a get that would succeed immediately.
+        """
+        dispatch_get = self.dispatch.get
+        try_get = self.dispatch.try_get
+        reorder = self.reorder
+        handle = self._fast_handle
+        emit = self._emit
+        drop = self._drop
+        forward = Verdict.FORWARD
+        while True:
+            packet: Packet = yield dispatch_get()
+            while True:
+                ticket = reorder.take_ticket() if reorder is not None else -1
+                verdict = yield from handle(packet)
+                if verdict is forward:
+                    if reorder is not None:
+                        reorder.complete(ticket, packet)
+                    else:
+                        emit(packet)
+                else:
+                    if reorder is not None:
+                        reorder.complete(ticket, None)
+                    reason = packet.drop_reason if packet.drop_reason is not None else DropReason.SCHED_RED
+                    drop(packet, reason, already_marked=True)
+                packet = try_get()
+                if packet is None:
+                    break
+
     # ------------------------------------------------------------------
     # egress
     # ------------------------------------------------------------------
@@ -189,8 +259,26 @@ class NicPipeline:
         else:
             self._drop(packet, DropReason.QUEUE_FULL, already_marked=True)
 
+    def _emit_to_tx_fast(self, packet: Packet) -> None:
+        if self.traffic_manager.offer(packet):
+            self.forwarded += 1
+        else:
+            self._drop(packet, DropReason.QUEUE_FULL, already_marked=True)
+
+    def _emit_burst(self, packets: list) -> None:
+        """Release a reorder run to egress in one batched call."""
+        rejected = self.traffic_manager.offer_burst(packets)
+        self.forwarded += len(packets) - len(rejected)
+        for packet in rejected:
+            self._drop(packet, DropReason.QUEUE_FULL, already_marked=True)
+
     def _on_sent(self, packet: Packet) -> None:
         self.buffers.release()
+
+    def _on_sent_at(self, packet: Packet, finish: float) -> None:
+        # Lazy fast-path buffer return: effective at serialisation
+        # finish + recycle delay, folded in at the next observation.
+        self.buffers.release_at(finish)
 
     # ------------------------------------------------------------------
     def _drop(
@@ -218,7 +306,12 @@ class NicPipeline:
         if self._drop_counters is not None:
             self._drop_counters[reason].inc()
         if release_buffer:
-            self.buffers.release()
+            if self.fast_path:
+                # Lazy route: same effective relink time as release()
+                # (now + recycle delay), no simulator event.
+                self.buffers.release_at(self.sim._now)
+            else:
+                self.buffers.release()
         if self.on_drop is not None:
             self.on_drop(packet)
 

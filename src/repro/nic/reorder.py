@@ -25,8 +25,19 @@ class ReorderBuffer:
     that should proceed to the Tx ring.
     """
 
-    def __init__(self, emit: Callable[[Packet], None], sim=None):
+    def __init__(
+        self,
+        emit: Callable[[Packet], None],
+        sim=None,
+        emit_burst: Optional[Callable[[list], None]] = None,
+    ):
         self._emit = emit
+        #: Optional burst release: when a head-of-line completion
+        #: unparks a run, the whole run is handed over in one call
+        #: (the fast path routes it to ``TrafficManager.offer_burst``).
+        #: Must be semantically identical to calling ``emit`` per
+        #: packet in the same order.
+        self._emit_burst = emit_burst
         self._next_ticket = 0
         self._next_release = 0
         #: ticket -> (packet or None-for-drop)
@@ -68,10 +79,31 @@ class ReorderBuffer:
         # Head of line: release immediately (the common case touches
         # neither the dict nor the tracer), then drain any parked run.
         self._next_release = ticket + 1
+        if not self._pending:
+            if packet is not None:
+                self._emit(packet)
+            return
+        if self._emit_burst is not None:
+            # Batched release: the head-of-line packet plus the parked
+            # run go out in one burst. Same packets, same order.
+            burst = [packet] if packet is not None else []
+            released_any = False
+            while self._next_release in self._pending:
+                released = self._pending.pop(self._next_release)
+                self._next_release += 1
+                released_any = True
+                if released is not None:
+                    burst.append(released)
+            if burst:
+                self._emit_burst(burst)
+            if released_any and self._trace is not None:
+                self._trace.emit(
+                    self._sim._now, "nic.reorder", "release",
+                    next_release=self._next_release, parked=len(self._pending),
+                )
+            return
         if packet is not None:
             self._emit(packet)
-        if not self._pending:
-            return
         released_any = False
         while self._next_release in self._pending:
             released = self._pending.pop(self._next_release)

@@ -19,7 +19,7 @@ so a seeded run is exactly reproducible.
 
 from .events import Event, EventQueue, SimEvent, AllOf, AnyOf
 from .simulator import Simulator
-from .process import Process
+from .process import At, Process
 from .resources import Lock, Store, TokenPool
 from .randomness import RandomStreams
 from .trace import Tracer, NullTracer, TraceRecord
@@ -31,6 +31,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Simulator",
+    "At",
     "Process",
     "Lock",
     "Store",

@@ -116,6 +116,28 @@ class EventQueue:
         self._live += 1
         return event
 
+    def push_batch(self, entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]]) -> List[Event]:
+        """Insert several ``(time, fn, args)`` callbacks in one call.
+
+        Sequence numbers are assigned in iteration order, so the batch
+        fires in exactly the order N individual :meth:`push` calls
+        would give. Small batches pay N heap pushes; a batch comparable
+        in size to the heap itself is cheaper to splice in wholesale
+        and re-heapify (O(n + k) vs O(k log n)).
+        """
+        counter = self._counter
+        heap = self._heap
+        events = [Event(time, next(counter), fn, args) for time, fn, args in entries]
+        k = len(events)
+        if k >= 8 and 4 * k >= len(heap):
+            heap.extend((event.time, event.seq, event) for event in events)
+            heapq.heapify(heap)
+        else:
+            for event in events:
+                heapq.heappush(heap, (event.time, event.seq, event))
+        self._live += k
+        return events
+
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
@@ -192,8 +214,10 @@ class SimEvent:
         """Register *callback* to run when the event triggers."""
         if self.triggered:
             # Deliver asynchronously-but-now to preserve run-to-completion
-            # semantics of the caller.
-            self.sim.schedule(0.0, callback, self)
+            # semantics of the caller. Goes straight to the zero-delay
+            # FIFO lane — the same slot ``schedule(0.0, ...)`` would
+            # assign, without the schedule() branch and call frame.
+            self.sim._queue.push_now(self.sim._now, callback, (self,))
         else:
             self._callbacks.append(callback)
 
@@ -213,6 +237,27 @@ class SimEvent:
             schedule = self.sim.schedule
             for callback in callbacks:
                 schedule(0.0, callback, self)
+        return self
+
+    def succeed_now(self, value: Any = None) -> "SimEvent":
+        """Trigger successfully and run waiters *synchronously*.
+
+        :meth:`succeed` defers waiter callbacks through the zero-delay
+        queue, preserving run-to-completion order among equal-time
+        events. This variant runs them inline — one fewer kernel event
+        per trigger — and is reserved for fast-path handoffs where the
+        caller knows no other same-timestamp event can observe the
+        difference (DESIGN.md §7).
+        """
+        if self.triggered:
+            raise SimulationError("SimEvent triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(self)
         return self
 
     def fail(self, exc: BaseException) -> "SimEvent":

@@ -28,7 +28,28 @@ from heapq import heappush
 from ..errors import ProcessError
 from .events import SimEvent
 
-__all__ = ["Process"]
+__all__ = ["At", "Process"]
+
+
+class At:
+    """A yield target resuming a process at an *absolute* time.
+
+    ``yield At(t)`` resumes the process at exactly ``t`` (which must
+    not lie in the past). This exists for fast paths that pre-compute
+    a composite wake-up time from several cost terms: re-expressing it
+    as a delay (``t - now``) and letting the kernel add ``now`` back
+    would not round-trip bit-identically in floating point, and the
+    hot-path contract (DESIGN.md §7) requires resume timestamps to
+    match the multi-yield slow path to the last ulp.
+
+    Instances are mutable so one can be reused across the yields of a
+    single packet: the kernel reads ``.time`` synchronously.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float):
+        self.time = time
 
 
 class Process(SimEvent):
@@ -117,6 +138,18 @@ class Process(SimEvent):
                 # Zero routes through schedule's now-queue path;
                 # negative raises there.
                 self.sim.schedule(yielded, self._resume, None, None)
+            return
+        if cls is At:
+            time = yielded.time
+            sim = self.sim
+            if time > sim._now:
+                queue = sim._queue
+                heappush(queue._heap, (time, next(queue._counter), self._resume))
+                queue._live += 1
+            else:
+                # time == now goes to the zero-delay FIFO; a past time
+                # raises inside schedule(), same as a negative delay.
+                sim.schedule(time - sim._now, self._resume, None, None)
             return
         self._wait_on(yielded)
 

@@ -161,6 +161,27 @@ class Store:
         self.total_put += 1
         return True
 
+    def try_put_now(self, item: Any) -> bool:
+        """:meth:`try_put` with a *synchronous* getter handoff.
+
+        When a getter is parked, its process resumes inline instead of
+        through a zero-delay event — same timestamp, one fewer kernel
+        event per handoff. Fast-path use only (DESIGN.md §7): the
+        resumed process runs before any other event already queued at
+        this timestamp, so callers must tolerate that reordering.
+        """
+        if self._getters:
+            getter = self._getters.popleft()
+            self.total_put += 1
+            self.total_got += 1
+            getter.succeed_now(item)
+            return True
+        if self.capacity > 0 and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self.total_put += 1
+        return True
+
     def get(self) -> SimEvent:
         """Remove the oldest item, waiting if the store is empty."""
         ev = SimEvent(self.sim)

@@ -1,0 +1,259 @@
+"""Kernel primitives backing the batched fast path (DESIGN.md §7).
+
+Four mechanisms carry the fast path's event-count wins, and each has a
+merged-ordering contract with the existing three-lane queue that these
+tests pin down:
+
+* ``EventQueue.push_batch`` — batched heap insertion (both the
+  per-push and the splice-and-heapify regimes) must fire in exactly
+  the order N individual pushes would give;
+* ``SimEvent.subscribe`` on an already-triggered event — routes
+  through the zero-delay FIFO and must merge with heap events at the
+  same timestamp strictly by sequence number;
+* the :class:`~repro.sim.At` yield — resumes a process at an
+  *absolute* time, bit-exactly (no delay round trip);
+* ``SimEvent.succeed_now`` / ``Store.try_put_now`` — the synchronous
+  handoff that resumes a parked getter inline.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import At, SimEvent, Simulator, Store
+
+
+class TestPushBatch:
+    def test_batch_fires_in_time_then_entry_order(self):
+        sim = Simulator()
+        fired = []
+        sim._queue.push_batch(
+            [
+                (1.0, fired.append, ("a",)),
+                (1.0, fired.append, ("b",)),
+                (0.5, fired.append, ("c",)),
+            ]
+        )
+        sim.run(until=2.0)
+        assert fired == ["c", "a", "b"]
+
+    def test_batch_merges_with_individual_pushes_by_seq(self):
+        # Equal timestamps across a push, a batch, and another push:
+        # the merged order must match the insertion order exactly.
+        sim = Simulator()
+        fired = []
+        queue = sim._queue
+        queue.push(1.0, fired.append, ("pre",))
+        queue.push_batch([(1.0, fired.append, (f"b{i}",)) for i in range(3)])
+        queue.push(1.0, fired.append, ("post",))
+        sim.run(until=1.0)
+        assert fired == ["pre", "b0", "b1", "b2", "post"]
+
+    def test_large_batch_heapify_regime_keeps_global_order(self):
+        # A batch comparable in size to the heap takes the
+        # splice-and-heapify branch; order must be indistinguishable.
+        sim = Simulator()
+        fired = []
+        queue = sim._queue
+        queue.push(0.25, fired.append, ("early",))
+        entries = [(1.0 + i * 1e-3, fired.append, (i,)) for i in range(50)]
+        queue.push_batch(list(reversed(entries)))
+        sim.run(until=2.0)
+        assert fired == ["early"] + list(range(50))
+
+    def test_batch_event_handles_are_cancellable(self):
+        sim = Simulator()
+        fired = []
+        handles = sim._queue.push_batch(
+            [(1.0, fired.append, (i,)) for i in range(4)]
+        )
+        handles[1].cancel()
+        handles[3].cancel()
+        sim.run(until=2.0)
+        assert fired == [0, 2]
+
+    def test_empty_batch_is_a_noop(self):
+        sim = Simulator()
+        assert sim._queue.push_batch([]) == []
+        assert sim.pending_events == 0
+
+
+class TestSubscribeOnTriggered:
+    """Satellite regression: subscribe-on-triggered goes through the
+    zero-delay FIFO (``push_now``), not a heap push — and the merged
+    (time, seq) order across both lanes is what a single heap would
+    give."""
+
+    def test_late_subscriber_merges_with_heap_events_by_seq(self):
+        sim = Simulator()
+        order = []
+        ev = SimEvent(sim)
+        ev.succeed("payload")
+
+        def driver():
+            sim.schedule(0.0, lambda: order.append("pre"))
+            ev.subscribe(lambda e: order.append(f"sub:{e.value}"))
+            sim.schedule(0.0, lambda: order.append("post"))
+
+        sim.schedule(1.0, driver)
+        # Heap event at the same timestamp, scheduled after the driver
+        # (larger seq than driver, smaller than the zero-delay items it
+        # creates): must fire between the driver and those items.
+        sim.schedule(1.0, lambda: order.append("heap-later"))
+        sim.run(until=2.0)
+        assert order == ["heap-later", "pre", "sub:payload", "post"]
+
+    def test_late_subscription_costs_one_event(self):
+        sim = Simulator()
+        got = []
+        ev = SimEvent(sim)
+        ev.succeed(42)
+        ev.subscribe(lambda e: got.append(e.value))
+        executed_before = sim.events_executed
+        sim.run(until=0.0)
+        assert got == [42]
+        assert sim.events_executed - executed_before == 1
+
+
+class TestAtYield:
+    def test_resumes_at_exact_absolute_time(self):
+        # The reason At exists: a composite target accumulated from
+        # several cost terms must be hit to the last ulp, which a
+        # delay round trip (now + (t - now)) does not guarantee.
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield 0.7
+            target = sim.now + 0.1
+            target += 0.2
+            yield At(target)
+            seen.append((sim.now, target))
+
+        sim.process(proc())
+        sim.run(until=2.0)
+        (now, target), = seen
+        assert now == target
+
+    def test_at_current_time_resumes_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc():
+            yield 0.5
+            sim.schedule(0.0, lambda: order.append("queued-first"))
+            yield At(sim.now)
+            order.append("resumed")
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert order == ["queued-first", "resumed"]
+
+    def test_at_in_the_past_is_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.5
+            yield At(0.1)
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_mutable_instance_reuse_across_yields(self):
+        # The per-packet pattern: one At reused for successive wakeups.
+        sim = Simulator()
+        times = []
+
+        def proc():
+            at = At(0.25)
+            yield at
+            times.append(sim.now)
+            at.time = 0.75
+            yield at
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert times == [0.25, 0.75]
+
+    def test_at_respects_run_horizon(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield At(1.5)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run(until=2.0)
+        assert fired == [1.5]
+
+
+class TestSucceedNow:
+    def test_callbacks_run_synchronously(self):
+        sim = Simulator()
+        order = []
+        ev = SimEvent(sim)
+        ev.subscribe(lambda e: order.append(f"cb:{e.value}"))
+        ev.succeed_now("x")
+        order.append("after")
+        assert order == ["cb:x", "after"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.succeed_now()
+        with pytest.raises(SimulationError):
+            ev.succeed_now()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_late_subscriber_after_succeed_now_still_delivers(self):
+        sim = Simulator()
+        got = []
+        ev = SimEvent(sim)
+        ev.succeed_now(7)
+        ev.subscribe(lambda e: got.append(e.value))
+        sim.run(until=0.0)
+        assert got == [7]
+
+
+class TestStoreTryPutNow:
+    def test_synchronous_handoff_resumes_parked_getter_inline(self):
+        sim = Simulator()
+        got = []
+        order = []
+        store = Store(sim, capacity=4)
+
+        def getter():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(getter())
+        sim.run(until=1.0)  # parks the getter
+        assert got == []
+
+        def put_at():
+            store.try_put_now("pkt")
+            order.append(("after-put", list(got)))
+
+        sim.schedule_at(1.5, put_at)
+        sim.run(until=2.0)
+        # The getter resumed *inside* the putter's callback.
+        assert got == [(1.5, "pkt")]
+        assert order == [("after-put", [(1.5, "pkt")])]
+
+    def test_queues_item_when_no_getter_waits(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        assert store.try_put_now("a") is True
+        assert store.try_get() == "a"
+
+    def test_full_store_rejects(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        assert store.try_put_now("a") is True
+        assert store.try_put_now("b") is False
+        assert len(store) == 1
