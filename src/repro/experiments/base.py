@@ -27,7 +27,7 @@ from ..core import FlowValveFrontend
 from ..core.sched_tree import SchedulingParams
 from ..net import Link, PacketFactory, PacketSink
 from ..nic import NicConfig, NicPipeline
-from ..host import FixedRateSender
+from ..host import FixedRateSender, propagate_next_change
 from ..sim import Simulator
 from ..stats.report import Table
 from ..tc.ast import PolicyConfig
@@ -322,4 +322,6 @@ def run_kernel_htb_timeline(
 
 
 def _scale_demand(demand: Demand, scale: float) -> Demand:
-    return lambda t: demand(t) / scale
+    # Pointwise rescale: boundaries (and the piecewise-constant
+    # contract behind next_change) carry over unchanged.
+    return propagate_next_change(lambda t: demand(t) / scale, demand)

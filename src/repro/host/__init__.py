@@ -15,6 +15,7 @@ from .traffic import (
     DemandSchedule,
     FixedRateSender,
     TcpApp,
+    propagate_next_change,
     windows,
 )
 from .vf import VirtualFunction
@@ -29,6 +30,7 @@ __all__ = [
     "DemandSchedule",
     "FixedRateSender",
     "TcpApp",
+    "propagate_next_change",
     "windows",
     "VirtualFunction",
     "TraceWorkload",

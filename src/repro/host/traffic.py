@@ -7,25 +7,36 @@ fixed-length full-speed packet injector used for Fig. 13.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..net.flow import FiveTuple
 from ..net.packet import Packet, PacketFactory
+from ..sim.process import At
 from .cpu import CpuCore
 from .tcp import AimdConnection, TcpParams, TcpRegistry
 
-__all__ = ["DemandSchedule", "windows", "TcpApp", "FixedRateSender"]
+__all__ = ["DemandSchedule", "windows", "propagate_next_change", "TcpApp", "FixedRateSender"]
 
-#: A demand function: time -> offered bit/s.
+#: A demand function: time -> offered bit/s. Schedules built by
+#: :func:`windows` additionally carry a ``next_change(t)`` attribute
+#: returning the first boundary strictly after *t* (or ``None``), with
+#: the contract that the demand is *constant* between boundaries.
 DemandSchedule = Callable[[float], float]
 
 
 def windows(*spans: Tuple[float, float, float]) -> DemandSchedule:
     """Build a piecewise-constant demand from (start, end, rate) spans.
 
+    The returned callable carries a ``next_change(t)`` attribute (see
+    :data:`DemandSchedule`) so senders can sleep exactly until the next
+    window edge instead of polling.
+
     >>> d = windows((0, 15, 10e9), (15, 45, 2e9))
     >>> d(10), d(20), d(50)
     (10000000000.0, 2000000000.0, 0.0)
+    >>> d.next_change(10), d.next_change(45)
+    (15, None)
     """
 
     def demand(t: float) -> float:
@@ -34,7 +45,27 @@ def windows(*spans: Tuple[float, float, float]) -> DemandSchedule:
                 return rate
         return 0.0
 
+    boundaries = sorted({edge for start, end, _rate in spans for edge in (start, end)})
+
+    def next_change(t: float) -> Optional[float]:
+        index = bisect_right(boundaries, t)
+        return boundaries[index] if index < len(boundaries) else None
+
+    demand.next_change = next_change  # type: ignore[attr-defined]
     return demand
+
+
+def propagate_next_change(derived: DemandSchedule, source: DemandSchedule) -> DemandSchedule:
+    """Copy ``next_change`` from *source* onto *derived*, if present.
+
+    For wrappers that rescale a schedule pointwise (demand splitting,
+    scale-factor division): the boundaries — and the constant-between-
+    boundaries contract — are unchanged by a pointwise transform.
+    """
+    next_change = getattr(source, "next_change", None)
+    if next_change is not None:
+        derived.next_change = next_change  # type: ignore[attr-defined]
+    return derived
 
 
 class TcpApp:
@@ -102,7 +133,7 @@ class TcpApp:
 
     @staticmethod
     def _split_demand(demand: DemandSchedule, n: int) -> DemandSchedule:
-        return lambda t: demand(t) / n
+        return propagate_next_change(lambda t: demand(t) / n, demand)
 
     # ------------------------------------------------------------------
     @property
@@ -159,12 +190,40 @@ class FixedRateSender:
         self.send_cost_seconds = send_cost_seconds
         self.jitter = jitter
         self.rng = rng
-        self.sent_packets = 0
+        self._sent = 0
+        self._burst_folded = 0
+        self._bursts: List = []
         self._process = sim.process(self._run())
 
+    @property
+    def sent_packets(self) -> int:
+        """Packets emitted up to the current simulation time.
+
+        In burst-ingress mode emission instants are precomputed and
+        handed to the pipeline as run-lane trains; emissions whose
+        instant has passed count as sent even when their arrival
+        callback has not executed yet (lazy, like the sink tallies).
+        """
+        bursts = self._bursts
+        if bursts:
+            now = self.sim._now
+            folded = self._burst_folded
+            live = []
+            n_live = 0
+            for rec in bursts:
+                if rec.settled(now):
+                    folded += rec.count_at(now)
+                else:
+                    live.append(rec)
+                    n_live += rec.count_at(now)
+            self._burst_folded = folded
+            self._bursts = live
+            return self._sent + folded + n_live
+        return self._sent + self._burst_folded
+
     def _run(self):
-        # One loop iteration per injected packet — keep the per-packet
-        # state in locals instead of `self.` attribute lookups.
+        # One loop iteration per injected packet (or per burst) — keep
+        # the per-packet state in locals instead of `self.` lookups.
         sim = self.sim
         make = self.factory.make
         submit = self.submit
@@ -182,19 +241,63 @@ class FixedRateSender:
         cpu_tag = f"app:{name}"
         jitter = self.jitter
         uniform = self.rng.uniform if (jitter > 0 and self.rng is not None) else None
+        next_change = getattr(demand, "next_change", None) if demand is not None else None
+        # Burst ingress: precompute the next K emission instants with
+        # the exact float-op and RNG-draw order of the per-packet loop
+        # and hand them to the pipeline as a single run-lane train.
+        # Engages only when the target is a burst-capable pipeline, no
+        # host CPU cost is modelled, and the demand schedule (if any)
+        # exposes its boundaries (constant between them).
+        owner = getattr(submit, "__self__", None)
+        burst_max = getattr(owner, "ingress_burst", 0) if owner is not None else 0
+        submit_burst = owner.submit_burst if burst_max > 0 else None
+        if (cpu is not None and send_cost > 0) or (demand is not None and next_change is None):
+            submit_burst = None
         while True:
             effective_rate = rate_bps
             if demand is not None:
                 demanded = demand(sim.now)
                 if demanded <= 0:
-                    yield idle_interval
+                    if next_change is not None:
+                        # Sleep exactly until the next demand boundary
+                        # instead of polling on a 10x-interval grid (a
+                        # poll-grid wake can land up to 10 intervals
+                        # after a window opens).
+                        boundary = next_change(sim.now)
+                        if boundary is None:
+                            return  # demand never reopens
+                        yield At(boundary)
+                    else:
+                        yield idle_interval
                     continue
                 effective_rate = min(rate_bps, demanded)
             interval = size_bits / effective_rate
+            if submit_burst is not None:
+                end = next_change(sim.now) if demand is not None else None
+                # Emissions past the current run horizon must not be
+                # precomputed: per-packet mode draws each gap's jitter
+                # *at* the emission, so a train crossing the horizon
+                # would advance the RNG past draws the per-packet world
+                # never makes (events at exactly the horizon still run).
+                horizon = sim._horizon
+                t = sim._now
+                times: List[float] = []
+                append = times.append
+                while len(times) < burst_max and (end is None or t < end) and t <= horizon:
+                    append(t)
+                    gap = interval
+                    if uniform is not None:
+                        gap *= 1.0 + uniform(-jitter, jitter)
+                    t = t + gap
+                self._bursts.append(
+                    submit_burst(make, times, packet_size, flow, name, vf_index)
+                )
+                yield At(t)
+                continue
             packet = make(packet_size, flow, sim.now, app=name, vf_index=vf_index)
             if cpu is not None and send_cost > 0:
                 cpu.charge(cpu_tag, send_cost)
-            self.sent_packets += 1
+            self._sent += 1
             submit(packet)
             gap = interval
             if uniform is not None:

@@ -54,6 +54,21 @@ class Link:
         self.frames_sent = 0
         #: Payload bytes (L2 sizes) carried.
         self.bytes_sent = 0
+        #: Lazy delivery target (PacketSink), or None for the eventful
+        #: route. See :meth:`enable_lazy_delivery`.
+        self._lazy_sink = None
+
+    def enable_lazy_delivery(self, sink) -> None:
+        """Deliver into *sink* lazily instead of via delivery events.
+
+        Each frame's delivery is recorded with
+        ``sink.receive_later(finish + propagation, packet)`` — zero
+        simulator events on the delivery path; the sink folds the
+        tallies in at its next observation. Only valid when nothing
+        else observes deliveries (the NIC pipeline checks: receiver is
+        the sink itself, no ``on_delivery`` hook, no tracing).
+        """
+        self._lazy_sink = sink
 
     def serialization_time(self, packet: Packet) -> float:
         """Seconds to clock one frame (with wire overhead) onto the link."""
@@ -80,7 +95,11 @@ class Link:
         packet.tx_start = start
         self.frames_sent += 1
         self.bytes_sent += packet.size
-        self.sim.schedule_at(finish + self.propagation_delay, self._deliver, packet)
+        sink = self._lazy_sink
+        if sink is not None:
+            sink.receive_later(finish + self.propagation_delay, packet)
+        else:
+            self.sim.schedule_at(finish + self.propagation_delay, self._deliver, packet)
         return finish
 
     def send_batch(self, packets) -> list:
@@ -97,7 +116,7 @@ class Link:
         if busy < now:
             busy = now
         prop = self.propagation_delay
-        deliver = self._deliver
+        sink = self._lazy_sink
         finishes = []
         entries = []
         bytes_sent = 0
@@ -107,11 +126,15 @@ class Link:
             packet.tx_start = start
             bytes_sent += packet.size
             finishes.append(busy)
-            entries.append((busy + prop, deliver, (packet,)))
+            if sink is not None:
+                sink.receive_later(busy + prop, packet)
+            else:
+                entries.append((busy + prop, self._deliver, (packet,)))
         self._busy_until = busy
         self.frames_sent += len(finishes)
         self.bytes_sent += bytes_sent
-        sim._queue.push_batch(entries)
+        if entries:
+            sim._queue.push_batch(entries)
         return finishes
 
     def _deliver(self, packet: Packet) -> None:

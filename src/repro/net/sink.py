@@ -8,8 +8,8 @@ AIMD senders learn their delivery rate.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..stats.timeseries import RateSeries
 from .packet import Packet
@@ -19,6 +19,18 @@ __all__ = ["PacketSink"]
 
 class PacketSink:
     """Terminal packet consumer with per-app accounting.
+
+    Two delivery routes feed the same tallies:
+
+    * :meth:`receive` — the eventful route (``Link.receiver``): one
+      link-delivery event per frame, accounted immediately.
+    * :meth:`receive_later` — the lazy route (burst-ingress fast path,
+      DESIGN.md §7): the link records ``(delivery_time, packet)`` with
+      *no* simulator event, and the tallies are folded in at the next
+      observation of any public counter, using each frame's recorded
+      delivery time. Mirrors ``BufferPool.release_at``. Only wired up
+      when nothing can observe the difference (no ``on_delivery``
+      hook, no tracing — the pipeline decides).
 
     Parameters
     ----------
@@ -43,19 +55,18 @@ class PacketSink:
         self.record_delays = record_delays
         #: Delay samples before this time are discarded (warm-up cut).
         self.delay_start = delay_start
-        #: Delivered frame count per app name ('' for unnamed).
-        self.packets: Dict[str, int] = defaultdict(int)
-        #: Delivered bytes per app name.
-        self.bytes: Dict[str, int] = defaultdict(int)
-        #: Windowed throughput series per app name.
-        self.rates: Dict[str, RateSeries] = {}
-        #: One-way delay samples in seconds (all apps pooled).
-        self.delays: List[float] = []
-        #: One-way delay samples per app name.
-        self.delays_by_app: Dict[str, List[float]] = defaultdict(list)
+        self._packets: Dict[str, int] = defaultdict(int)
+        self._bytes: Dict[str, int] = defaultdict(int)
+        self._rates: Dict[str, RateSeries] = {}
+        self._delays: List[float] = []
+        self._delays_by_app: Dict[str, List[float]] = defaultdict(list)
         self._rate_window = rate_window
-        self.total_packets = 0
-        self.total_bytes = 0
+        self._total_packets = 0
+        self._total_bytes = 0
+        #: Lazily-recorded deliveries: (delivery_time, packet), times
+        #: non-decreasing (one link feeds the lazy route, FIFO wire).
+        self._pending: Deque[Tuple[float, Packet]] = deque()
+        self._drain_hook_registered = False
         # Observability: one identity check per delivery when off.
         tracer = sim.tracer
         self._trace = tracer if tracer.enabled else None
@@ -65,24 +76,44 @@ class PacketSink:
             sim.metrics.probe("sink.packets_by_app", lambda: dict(self.packets))
             sim.metrics.probe("sink.bytes_by_app", lambda: dict(self.bytes))
 
+    # ------------------------------------------------------------------
+    # delivery routes
+    # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Account one delivered frame. Wire this to ``Link.receiver``."""
+        self._account(packet, self.sim._now)
+
+    def receive_later(self, time: float, packet: Packet) -> None:
+        """Record a delivery at absolute *time*, folded in on observation.
+
+        Times must be non-decreasing across calls (the serialising link
+        guarantees this). The simulator learns about pending folds via
+        a drain hook so an open-ended ``run()`` still ends at the last
+        delivery time.
+        """
+        if not self._drain_hook_registered:
+            self._drain_hook_registered = True
+            self.sim.add_drain_hook(
+                lambda: self._pending[-1][0] if self._pending else None
+            )
+        self._pending.append((time, packet))
+
+    def _account(self, packet: Packet, now: float) -> None:
         app = packet.app
         size = packet.size
-        now = self.sim._now  # hot path: one clock read per frame
-        self.packets[app] += 1
-        self.bytes[app] += size
-        self.total_packets += 1
-        self.total_bytes += size
-        series = self.rates.get(app)
+        self._packets[app] += 1
+        self._bytes[app] += size
+        self._total_packets += 1
+        self._total_bytes += size
+        series = self._rates.get(app)
         if series is None:
             series = RateSeries(window=self._rate_window)
-            self.rates[app] = series
+            self._rates[app] = series
         series.add(now, size * 8)
         if self.record_delays and packet.created_at >= 0 and now >= self.delay_start:
             delay = now - packet.created_at
-            self.delays.append(delay)
-            self.delays_by_app[app].append(delay)
+            self._delays.append(delay)
+            self._delays_by_app[app].append(delay)
         if self._trace is not None:
             self._trace.emit(
                 now, "net.sink", "deliver",
@@ -91,6 +122,61 @@ class PacketSink:
             )
         if self.on_delivery is not None:
             self.on_delivery(packet)
+
+    def _fold(self) -> None:
+        """Account every pending lazy delivery that has matured."""
+        pending = self._pending
+        if not pending:
+            return
+        now = self.sim._now
+        account = self._account
+        while pending and pending[0][0] <= now:
+            time, packet = pending.popleft()
+            packet.delivered_at = time
+            account(packet, time)
+
+    # ------------------------------------------------------------------
+    # observed tallies (fold-first)
+    # ------------------------------------------------------------------
+    @property
+    def packets(self) -> Dict[str, int]:
+        """Delivered frame count per app name ('' for unnamed)."""
+        self._fold()
+        return self._packets
+
+    @property
+    def bytes(self) -> Dict[str, int]:
+        """Delivered bytes per app name."""
+        self._fold()
+        return self._bytes
+
+    @property
+    def rates(self) -> Dict[str, RateSeries]:
+        """Windowed throughput series per app name."""
+        self._fold()
+        return self._rates
+
+    @property
+    def delays(self) -> List[float]:
+        """One-way delay samples in seconds (all apps pooled)."""
+        self._fold()
+        return self._delays
+
+    @property
+    def delays_by_app(self) -> Dict[str, List[float]]:
+        """One-way delay samples per app name."""
+        self._fold()
+        return self._delays_by_app
+
+    @property
+    def total_packets(self) -> int:
+        self._fold()
+        return self._total_packets
+
+    @property
+    def total_bytes(self) -> int:
+        self._fold()
+        return self._total_bytes
 
     def throughput_bps(self, app: str, elapsed: float) -> float:
         """Average delivered rate for *app* over *elapsed* seconds."""

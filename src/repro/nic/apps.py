@@ -295,39 +295,86 @@ class FlowValveNicApp(NicApp):
                 costs.emc_hit + costs.classify_per_rule * max(1, len(labeler.classifier))
             )
         at = At(t)
-        yield at
 
         # --- scheduling function (Algorithm 1), at real wall times ----
         scheduler = self.scheduler
         path = scheduler.path_nodes(packet)
-        scheduler.touch_path(path, sim._now)
         stats = scheduler.stats
         params = scheduler.params
         per_class = costs.sched_per_class
         trylock_cost = costs.update_trylock
-        update_body = costs.update_body
-        accumulated = 0
+
+        # Wakeup elision (DESIGN.md §7): the slow sequence wakes at the
+        # first resume time ``t``, probes every path node's update
+        # trylock (all at wall time ``t``) and touches the path at
+        # ``t``. When, judged with current state, every path node (a)
+        # is not mid-update, (b) cannot be due for an update at ``t``
+        # (``t - last_update < update_interval`` — and last_update only
+        # grows, so no probe between now and ``t`` can begin one
+        # either), and (c) stays active through ``t`` under its current
+        # last_seen, the walk is provably skip-only and its only write
+        # is ``touch_path(path, t)`` — which, done *early* at wall-now
+        # with the same timestamp ``t``, is unobservable: last_seen has
+        # max() semantics and (c) guarantees every ``is_active`` read
+        # in (now, t] answers True in both orders. The first wakeup
+        # then merges into the second (skip-cost + meter) resume.
+        interval = params.update_interval
+        expire = params.expire_after
+        elide = True
         for node in path:
-            accumulated += per_class
-            if node.try_begin_update(sim._now):
-                n = accumulated + update_body
-                sec = cyc.get(n)
-                yield sec if sec is not None else cycles(n)
-                accumulated = 0
-                node.perform_update(sim._now)
-                node.end_update()
-                stats.updates_run += 1
-            else:
-                accumulated += trylock_cost
-                stats.updates_skipped += 1
-        t = sim._now
-        if accumulated:
-            sec = cyc.get(accumulated)
-            t += sec if sec is not None else cycles(accumulated)
-        sec = cyc.get(costs.meter)
-        t += sec if sec is not None else cycles(costs.meter)
-        at.time = t
-        yield at
+            if (
+                node.updating
+                or t - node.last_update >= interval
+                or t - node.last_seen > expire
+            ):
+                elide = False
+                break
+        if elide:
+            n_nodes = len(path)
+            n = n_nodes * (per_class + trylock_cost)
+            t2 = t
+            sec = cyc.get(n)
+            t2 += sec if sec is not None else cycles(n)
+            sec = cyc.get(costs.meter)
+            t2 += sec if sec is not None else cycles(costs.meter)
+            # Horizon cut: the slow sequence counts its skips (and
+            # touches the path) at the *first* wakeup; eliding performs
+            # them now. Both land inside a finished run iff the merged
+            # wakeup does — a train cut by the run horizon must keep
+            # the slow wakeups so end-of-run state matches exactly.
+            if t2 > sim._horizon:
+                elide = False
+        if elide:
+            scheduler.touch_path(path, t)
+            stats.updates_skipped += n_nodes
+            at.time = t2
+            yield at
+        else:
+            yield at
+            scheduler.touch_path(path, sim._now)
+            update_body = costs.update_body
+            accumulated = 0
+            for node in path:
+                accumulated += per_class
+                if node.try_begin_update(sim._now):
+                    n = accumulated + update_body
+                    sec = cyc.get(n)
+                    yield sec if sec is not None else cycles(n)
+                    accumulated = 0
+                    node.perform_update(sim._now)
+                    node.end_update()
+                    stats.updates_run += 1
+                else:
+                    accumulated += trylock_cost
+                    stats.updates_skipped += 1
+            t = sim._now
+            if accumulated:
+                sec = cyc.get(accumulated)
+                t += sec if sec is not None else cycles(accumulated)
+            sec = cyc.get(costs.meter)
+            t += sec if sec is not None else cycles(costs.meter)
+            at.time = t
+            yield at
 
         leaf = path[-1]
         size_bits = params.packet_bits(packet.size)

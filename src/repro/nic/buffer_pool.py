@@ -86,6 +86,28 @@ class BufferPool:
             self.min_free = self._free
         return True
 
+    def try_allocate_asof(self, time: float) -> bool:
+        """:meth:`try_allocate` as it would have decided at *time*.
+
+        The burst-ingress route runs admission inside a DMA-completion
+        callback (wall clock = emission + DMA latency), but the
+        per-packet reference decides at the emission instant. Draining
+        only relinks matured by *time* reproduces that decision
+        exactly: any ``release_at`` recorded after *time* has a finish
+        time past *time*, so its relink (finish + recycle delay)
+        could not have matured by *time* either way.
+        """
+        if self._pending:
+            self._drain_pending(time)
+        if self._free == 0:
+            self.exhaustion_drops += 1
+            return False
+        self._free -= 1
+        self._outstanding += 1
+        if self._free < self.min_free:
+            self.min_free = self._free
+        return True
+
     def release(self) -> None:
         """Free one buffer; it re-enters the list after the manager
         core's recycle delay."""

@@ -94,6 +94,13 @@ class NicConfig:
     #: only while tracing and metrics are off; set False to force the
     #: slow path (equivalence tests, debugging).
     fast_path: bool = True
+    #: Max emission instants a burst-capable sender may precompute and
+    #: hand to ``NicPipeline.submit_burst`` as one run-lane train
+    #: (DESIGN.md §7). Like ``fast_path`` it is auto-disabled while
+    #: tracing or metrics are on (and whenever ``fast_path`` is off);
+    #: 0 forces per-packet ingress. Observable behaviour is identical
+    #: either way.
+    ingress_burst: int = 64
     #: Per-operation cycle budgets.
     costs: CycleCosts = field(default_factory=CycleCosts)
     #: Memory hierarchy (documentation + latency-hiding math).
@@ -108,6 +115,8 @@ class NicConfig:
             raise ConfigError("n_workers must be positive")
         if self.line_rate_bps <= 0:
             raise ConfigError("line_rate_bps must be positive")
+        if self.ingress_burst < 0:
+            raise ConfigError(f"ingress_burst must be >= 0, got {self.ingress_burst}")
         if self.lock_mode not in self._LOCK_MODES:
             raise ConfigError(
                 f"lock_mode must be one of {self._LOCK_MODES}, got {self.lock_mode!r}"

@@ -14,11 +14,13 @@ Every stage is bounded; drops are marked with a
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from bisect import bisect_right
+from typing import Callable, List, Optional
 
 from ..core.scheduling import Verdict
 from ..net.link import Link
 from ..net.packet import DropReason, Packet
+from ..net.sink import PacketSink
 from ..sim import Simulator, Store
 from .apps import FlowValveNicApp, NicApp
 from .buffer_pool import BufferPool
@@ -28,6 +30,42 @@ from .rings import TxRing
 from .traffic_manager import TrafficManager
 
 __all__ = ["NicPipeline"]
+
+_INF = float("inf")
+
+
+class _IngressBurst:
+    """Bookkeeping for one precomputed emission train (DESIGN.md §7).
+
+    Shared between the pipeline (arrival cursor) and the submitting
+    sender (lazy sent-packet counting): emissions whose instant has
+    passed count as sent even before their DMA-completion run item
+    executes, and a congestion-feedback ``cutoff`` retires every
+    emission strictly after it.
+    """
+
+    __slots__ = ("times", "cutoff", "done", "seen")
+
+    def __init__(self, times: List[float]):
+        #: Ascending emission instants of this train.
+        self.times = times
+        #: Emissions strictly after this instant are retired (TCP
+        #: feedback rolls back the tail of an in-flight train).
+        self.cutoff = _INF
+        #: Arrival items executed and admitted (not retired).
+        self.done = 0
+        #: Run items executed, including retired ones.
+        self.seen = 0
+
+    def count_at(self, now: float) -> int:
+        """Valid emissions with instant <= min(now, cutoff)."""
+        cutoff = self.cutoff
+        limit = now if now < cutoff else cutoff
+        return bisect_right(self.times, limit)
+
+    def settled(self, now: float) -> bool:
+        """True when no future clock advance can change count_at."""
+        return self.cutoff <= now or self.times[-1] <= now
 
 
 class NicPipeline:
@@ -71,6 +109,22 @@ class NicPipeline:
         #: True when this pipeline runs the batched egress + lazy
         #: buffer-return fast path (bit-identical to the slow path).
         self.fast_path = fast
+        #: Max emissions per precomputed ingress train; 0 disables
+        #: burst ingress (slow path, tracing, metrics, or config).
+        self.ingress_burst = config.ingress_burst if fast else 0
+        # Lazy sink deliveries: when the fast path is on and the
+        # receiver is a plain PacketSink with no delivery hook, link
+        # deliveries fold into the sink's tallies at observation time
+        # instead of costing one kernel event per frame.
+        if fast and receiver is not None:
+            sink = getattr(receiver, "__self__", None)
+            if (
+                sink is not None
+                and sink.__class__ is PacketSink
+                and getattr(receiver, "__func__", None) is PacketSink.receive
+                and sink.on_delivery is None
+            ):
+                self.link.enable_lazy_delivery(sink)
         self.tx_ring = TxRing(sim, depth=config.tx_ring_depth, virtual=fast)
         self.traffic_manager = TrafficManager(
             sim, self.tx_ring, self.link,
@@ -89,7 +143,8 @@ class NicPipeline:
                 emit_burst=self._emit_burst if fast else None,
             )
         # --- statistics ------------------------------------------------
-        self.submitted = 0
+        self._submitted = 0
+        self._ingress_bursts: List[_IngressBurst] = []
         self.forwarded = 0
         self.dropped = 0
         self.drops_by_reason = {reason: 0 for reason in DropReason}
@@ -145,6 +200,23 @@ class NicPipeline:
     # ------------------------------------------------------------------
     # ingress
     # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        """Packets offered to the NIC up to the current time.
+
+        With burst ingress, emissions whose instant has passed but
+        whose DMA-completion run item has not executed yet still count
+        (lazy, like the sink tallies) — so the counter reads the same
+        as the per-packet route at any observation point.
+        """
+        n = self._submitted
+        bursts = self._ingress_bursts
+        if bursts:
+            now = self.sim._now
+            for rec in bursts:
+                n += rec.count_at(now) - rec.done
+        return n
+
     def submit(self, packet: Packet) -> bool:
         """Offer one packet from a host VF queue.
 
@@ -152,13 +224,74 @@ class NicPipeline:
         buffer). Accepted packets arrive at the dispatch queue after
         the PCIe DMA latency.
         """
-        self.submitted += 1
+        self._submitted += 1
         packet.nic_arrival = self.sim._now  # hot path: skip the property
         if not self.buffers.try_allocate():
             self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
             return False
         self.sim.schedule(self.config.rx_dma_latency, self._arrive_dma, packet)
         return True
+
+    def submit_burst(
+        self,
+        make: Callable[..., Packet],
+        times: List[float],
+        packet_size: int,
+        flow,
+        app: str,
+        vf_index: int,
+        conn_id: Optional[int] = None,
+    ) -> _IngressBurst:
+        """Offer a precomputed train of future emissions in one call.
+
+        *times* are ascending absolute emission instants (>= now). The
+        whole train's DMA completions enter the kernel as a single
+        run-lane entry (``EventQueue.push_run``): one heap operation
+        for the burst instead of one event per packet. Admission — the
+        buffer-allocation decision and any NO_BUFFER drop — stays a
+        per-arrival decision, taken as of each emission instant
+        (``BufferPool.try_allocate_asof``); packets are created inside
+        the arrival items so factory sequence numbers are assigned in
+        arrival order, exactly as per-packet ``submit`` would.
+
+        Returns the shared :class:`_IngressBurst` record; the sender
+        uses it for lazy sent-packet counting and (TCP) to retire the
+        unsent tail of the train on congestion feedback via ``cutoff``.
+        """
+        rec = _IngressBurst(times)
+        self._ingress_bursts.append(rec)
+        latency = self.config.rx_dma_latency
+        arrive = self._burst_arrival
+        self.sim._queue.push_run(
+            [
+                (t + latency, arrive, (rec, t, make, packet_size, flow, app, vf_index, conn_id))
+                for t in times
+            ]
+        )
+        return rec
+
+    def _burst_arrival(
+        self, rec: _IngressBurst, t_emit: float, make, size, flow, app, vf_index, conn_id
+    ) -> None:
+        rec.seen += 1
+        if rec.seen == len(rec.times):
+            self._ingress_bursts.remove(rec)
+        if t_emit > rec.cutoff:
+            return  # retired by congestion feedback before its instant
+        rec.done += 1
+        self._submitted += 1
+        if conn_id is None:
+            packet = make(size, flow, t_emit, app=app, vf_index=vf_index)
+        else:
+            packet = make(size, flow, t_emit, app=app, vf_index=vf_index, conn_id=conn_id)
+        packet.nic_arrival = t_emit
+        if not self.buffers.try_allocate_asof(t_emit):
+            # Same decision the per-packet route takes at t_emit; the
+            # drop is *recorded* here at arrival (t_emit + DMA latency)
+            # — the only burst-mode timing shift, see DESIGN.md §7.
+            self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
+            return
+        self._arrive_dma(packet)
 
     def _arrive(self, packet: Packet) -> None:
         if not self.dispatch.try_put(packet):

@@ -19,7 +19,7 @@ from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 
-__all__ = ["Event", "EventQueue", "SimEvent", "AllOf", "AnyOf"]
+__all__ = ["Event", "EventQueue", "EventRun", "SimEvent", "AllOf", "AnyOf"]
 
 
 class Event:
@@ -56,6 +56,52 @@ class Event:
         return f"<Event t={self.time:.9f} #{self.seq} {getattr(self.fn, '__name__', self.fn)}{state}>"
 
 
+class EventRun:
+    """A time-sorted train of callbacks occupying a *single* heap slot.
+
+    The run lane: a burst of N pre-sorted future callbacks (e.g. the
+    RX DMA completions of a precomputed sender burst) is inserted with
+    one ``heappush`` via :meth:`EventQueue.push_run` instead of N. The
+    heap key is always the run's *head* item ``(time, seq)``; the event
+    loop peeks the remaining items against the heap top and the
+    ``_nowq`` FIFO after each callback, so interleaving with ordinary
+    events is exactly what N individual pushes would give. Each item
+    carries its own ``seq`` drawn from the queue's shared counter at
+    insertion, preserving equal-time tie-breaks across lanes.
+
+    ``cancel()`` kills every not-yet-executed item in the train (lazy,
+    O(1)); individual items cannot be cancelled separately.
+    """
+
+    __slots__ = ("_items", "cancelled", "_queued", "_executing")
+
+    def __init__(self) -> None:
+        #: (time, seq, fn, args) tuples, non-decreasing in (time, seq).
+        self._items: Deque[Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]] = deque()
+        self.cancelled = False
+        #: True while the run sits in the heap under its head's key.
+        self._queued = False
+        #: True while the event loop is draining items from this run.
+        self._executing = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the next pending item, or ``None`` if drained."""
+        items = self._items
+        return items[0][0] if items else None
+
+    def cancel(self) -> None:
+        """Drop every item not yet executed. Idempotent, O(1)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<EventRun n={len(self._items)}{state}>"
+
+
 class EventQueue:
     """A time-ordered priority queue of :class:`Event` objects.
 
@@ -63,7 +109,7 @@ class EventQueue:
     in the order they were scheduled — this is what makes runs
     deterministic.
 
-    Two internal stores back the queue (the hot-path layout the event
+    Three internal stores back the queue (the hot-path layout the event
     loop in :meth:`Simulator.run` exploits directly):
 
     * ``_heap`` — ``(time, seq, event)`` tuples ordered by ``heapq``.
@@ -73,12 +119,13 @@ class EventQueue:
       element is normally an :class:`Event`, but the *resume lane*
       (process delay-yields, the most frequent event kind) stores the
       bare resume callable instead — no handle allocation, called as
-      ``fn(None, None)``, never cancellable. Consumers dispatch on
-      ``payload.__class__ is Event``.
+      ``fn(None, None)``, never cancellable — and the *run lane*
+      stores an :class:`EventRun` keyed by its head item. Consumers
+      dispatch on ``payload.__class__``.
     * ``_nowq`` — a FIFO of zero-delay events (process resumes, event
       callbacks, store handoffs — roughly half of all traffic). They
       fire at the timestamp they were scheduled, so a deque append
-      replaces an O(log n) heap push. Both stores share one ``seq``
+      replaces an O(log n) heap push. All stores share one ``seq``
       counter and every pop compares ``(time, seq)`` across them, so
       the merged order is exactly the order a single heap would give.
     """
@@ -138,10 +185,75 @@ class EventQueue:
         self._live += k
         return events
 
+    def push_run(
+        self, entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]]
+    ) -> EventRun:
+        """Insert a time-sorted train of ``(time, fn, args)`` callbacks.
+
+        The whole train costs one heap operation: it is wrapped in an
+        :class:`EventRun` keyed by its first entry, and the event loop
+        drains it in place, re-keying only when an interleaving event
+        (heap or ``_nowq``) must run first. Entry times must be
+        non-decreasing and ``>=`` the simulator's current time (callers
+        guarantee the latter, as with :meth:`push_now`).
+
+        Sequence numbers are drawn in iteration order from the shared
+        counter, so equal-time ties against other lanes resolve exactly
+        as N individual :meth:`push` calls issued now would.
+        """
+        run = EventRun()
+        self.extend_run(run, entries)
+        return run
+
+    def extend_run(
+        self,
+        run: EventRun,
+        entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
+    ) -> None:
+        """Append ``(time, fn, args)`` entries to *run* (may be in flight).
+
+        Appending to a queued or executing run is legal as long as the
+        times keep the train monotone; the run is (re-)armed in the heap
+        only when it is neither queued nor currently being drained.
+        """
+        if run.cancelled:
+            raise SimulationError("cannot extend a cancelled EventRun")
+        items = run._items
+        counter = self._counter
+        last = items[-1][0] if items else None
+        n = 0
+        for time, fn, args in entries:
+            if last is not None and time < last:
+                raise SimulationError(
+                    f"EventRun entries must be time-sorted ({time} < {last})"
+                )
+            last = time
+            items.append((time, next(counter), fn, args))
+            n += 1
+        if n == 0:
+            return
+        self._live += n
+        if not run._queued and not run._executing:
+            head = items[0]
+            heapq.heappush(self._heap, (head[0], head[1], run))
+            run._queued = True
+
+    def _discard_run(self, run: EventRun) -> None:
+        """Drop all pending items of a cancelled run (already un-heaped)."""
+        items = run._items
+        self._live -= len(items)
+        items.clear()
+        run._queued = False
+
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
         Raises :class:`SimulationError` when the queue is empty.
+
+        Run-lane entries are unbundled one item at a time: the head
+        item is returned (wrapped as an :class:`Event`) and the rest of
+        the train is re-keyed into the heap. Only the cold
+        :meth:`Simulator.step` path pays this.
         """
         heap = self._heap
         nowq = self._nowq
@@ -160,11 +272,26 @@ class EventQueue:
             if not heap:
                 raise SimulationError("pop from an empty event queue")
             time, seq, payload = heapq.heappop(heap)
-            self._live -= 1
-            if payload.__class__ is not Event:
+            cls = payload.__class__
+            if cls is not Event:
+                if cls is EventRun:
+                    if payload.cancelled:
+                        self._discard_run(payload)
+                        continue
+                    t, s, fn, args = payload._items.popleft()
+                    self._live -= 1
+                    payload._queued = False
+                    items = payload._items
+                    if items:
+                        head = items[0]
+                        heapq.heappush(heap, (head[0], head[1], payload))
+                        payload._queued = True
+                    return Event(t, s, fn, args)
                 # Resume-lane entry: wrap it so pop()'s contract holds
                 # (only the cold step() path pays this allocation).
+                self._live -= 1
                 return Event(time, seq, payload, (None, None))
+            self._live -= 1
             if payload.cancelled:
                 continue
             return payload
@@ -174,9 +301,13 @@ class EventQueue:
         heap = self._heap
         while heap:
             payload = heap[0][2]
-            if payload.__class__ is Event and payload.cancelled:
+            cls = payload.__class__
+            if cls is Event and payload.cancelled:
                 heapq.heappop(heap)
                 self._live -= 1
+            elif cls is EventRun and payload.cancelled:
+                heapq.heappop(heap)
+                self._discard_run(payload)
             else:
                 break
         nowq = self._nowq

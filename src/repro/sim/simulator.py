@@ -7,7 +7,7 @@ from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
 from ..stats.metrics import MetricsRegistry, NullMetricsRegistry
-from .events import Event, EventQueue, SimEvent
+from .events import Event, EventQueue, EventRun, SimEvent
 from .randomness import RandomStreams
 from .trace import NullTracer, Tracer
 
@@ -47,12 +47,23 @@ class Simulator:
         self._stopped = False
         #: Count of events executed so far (diagnostic).
         self.events_executed = 0
+        #: Horizon of the in-progress run() (+inf outside / open-ended).
+        #: Fast paths that pre-aggregate future work consult it so they
+        #: never perform state changes the horizon would have cut off.
+        self._horizon = float("inf")
         #: Per-purpose deterministic random streams.
         self.random = RandomStreams(seed)
         #: Structured trace sink; NullTracer discards everything.
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         #: Metrics registry; the no-op default records nothing.
         self.metrics: MetricsRegistry = metrics if metrics is not None else NullMetricsRegistry()
+        #: Drain hooks: callables returning an Optional[float] timestamp
+        #: of lazily-recorded pending work (e.g. folded link deliveries)
+        #: that owns no kernel event. When an open-ended run() drains
+        #: the queue, the clock advances to the latest such timestamp so
+        #: `run(until=None)` ends at the same final time an eventful run
+        #: would (see PacketSink lazy accounting).
+        self._drain_hooks: list = []
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -111,6 +122,16 @@ class Simulator:
 
         return Process(self, generator)
 
+    def add_drain_hook(self, fn: Callable[[], Optional[float]]) -> None:
+        """Register a callable reporting pending event-free work.
+
+        *fn* returns the latest simulation timestamp of work recorded
+        lazily outside the event queue (or ``None`` if none pending).
+        Open-ended :meth:`run` calls advance the clock to the largest
+        reported time when the queue drains.
+        """
+        self._drain_hooks.append(fn)
+
     # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
@@ -147,6 +168,7 @@ class Simulator:
         # One float comparison per event instead of a None test + a
         # comparison: an open-ended run uses +inf as its horizon.
         horizon = float("inf") if until is None else until
+        self._horizon = horizon
         executed = 0
         try:
             while not self._stopped:
@@ -172,10 +194,67 @@ class Simulator:
                 if not heap:
                     if nowq:
                         continue  # heap drained mid-iteration; re-merge
+                    if self._drain_hooks:
+                        target = self._now
+                        for hook in self._drain_hooks:
+                            t = hook()
+                            if t is not None and t > target:
+                                target = t
+                        if target > horizon:
+                            target = horizon
+                        if target > self._now:
+                            self._now = target
                     break
                 top = heap[0]
                 payload = top[2]
-                if payload.__class__ is not Event:
+                cls = payload.__class__
+                if cls is not Event:
+                    if cls is EventRun:
+                        # Run-lane entry: drain the train in place while
+                        # its head still beats the heap top and the
+                        # zero-delay FIFO, then re-key the remainder.
+                        if payload.cancelled:
+                            heappop(heap)
+                            queue._discard_run(payload)
+                            continue
+                        if top[0] > horizon:
+                            break
+                        heappop(heap)
+                        payload._queued = False
+                        payload._executing = True
+                        items = payload._items
+                        # The whole drained segment counts as ONE
+                        # executed kernel event: one heap pop dispatched
+                        # it (that is the point of the run lane).
+                        executed += 1
+                        while items:
+                            head = items[0]
+                            t = head[0]
+                            if t > horizon:
+                                break
+                            if payload.cancelled:
+                                queue._live -= len(items)
+                                items.clear()
+                                break
+                            s = head[1]
+                            if nowq:
+                                ev = nowq[0]
+                                if ev.time < t or (ev.time == t and ev.seq < s):
+                                    break
+                            if heap:
+                                top2 = heap[0]
+                                if top2[0] < t or (top2[0] == t and top2[1] < s):
+                                    break
+                            items.popleft()
+                            queue._live -= 1
+                            self._now = t
+                            head[2](*head[3])
+                        payload._executing = False
+                        if items and not payload.cancelled:
+                            head = items[0]
+                            heapq.heappush(heap, (head[0], head[1], payload))
+                            payload._queued = True
+                        continue
                     # Resume-lane entry (bare process-resume callable).
                     if top[0] > horizon:
                         break

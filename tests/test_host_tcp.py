@@ -83,6 +83,41 @@ class TestFixedRateSender:
         with pytest.raises(ValueError):
             FixedRateSender(Simulator(), "A", PacketFactory(), lambda p: True, rate_bps=0)
 
+    def test_first_packet_lands_exactly_on_window_open(self):
+        # Idle regression: a closed demand used to be polled on a
+        # 10x-interval grid, so the first packet after a 0 -> rate
+        # transition could land up to 10 intervals late (and off the
+        # jitter-free emission grid). With windows() exposing its
+        # boundaries the sender sleeps exactly until the window opens.
+        sim = Simulator(seed=1)
+        sent = []
+        FixedRateSender(sim, "A", PacketFactory(), lambda p: sent.append(p) or True,
+                        rate_bps=1e6, packet_size=1250,
+                        demand=windows((15.0, 16.0, 1e6)))
+        sim.run(until=16.0)
+        assert sent[0].created_at == 15.0
+
+    def test_sender_retires_when_demand_never_reopens(self):
+        # After the last window closes there is no boundary to sleep
+        # until: the sender process ends instead of polling forever.
+        sim = Simulator(seed=1)
+        sent = []
+        FixedRateSender(sim, "A", PacketFactory(), lambda p: sent.append(p) or True,
+                        rate_bps=1e6, packet_size=1250,
+                        demand=windows((0.0, 0.5, 1e6)))
+        final = sim.run()
+        n = len(sent)
+        assert n == pytest.approx(50, abs=3)
+        # An open-ended run drains: no idle poll events trail the close.
+        assert final < 0.6
+
+    def test_windows_next_change_reports_boundaries(self):
+        demand = windows((0, 10, 5e6), (10, 20, 1e6))
+        assert demand.next_change(0.0) == 10.0
+        assert demand.next_change(5.0) == 10.0
+        assert demand.next_change(10.0) == 20.0
+        assert demand.next_change(20.0) is None
+
 
 class TestVirtualFunction:
     def test_stamps_vf_index_and_counts(self):

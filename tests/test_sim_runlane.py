@@ -1,0 +1,234 @@
+"""The kernel run lane: ``EventQueue.push_run`` / ``EventRun``.
+
+A run is a pre-sorted train of future callbacks occupying a single
+heap slot (DESIGN.md §7); the event loop drains it in place, peeking
+each item against the heap top and the zero-delay FIFO. These tests
+pin down the ordering contract (interleaving with ``push``,
+``push_batch`` and the nowq at equal timestamps resolves exactly as
+individual pushes would), cancellation of an in-flight run, degenerate
+trains, and the horizon/``step()`` unbundling paths — plus a
+microbenchmark asserting the lane actually collapses kernel events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.events import EventRun
+
+
+def _mark(log, tag):
+    return (lambda: log.append(tag),)
+
+
+class TestPushRunOrdering:
+    def test_train_fires_in_time_order_as_one_kernel_event(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run(
+            [(t, log.append, (t,)) for t in (0.1, 0.2, 0.3)]
+        )
+        assert len(run) == 3
+        assert run.next_time == 0.1
+        sim.run()
+        assert log == [0.1, 0.2, 0.3]
+        # The whole drained segment costs ONE executed kernel event.
+        assert sim.events_executed == 1
+        assert len(run) == 0
+        assert run.next_time is None
+
+    def test_interleaves_with_heap_events_exactly(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.15, log.append, "heap:0.15")
+        sim._queue.push_run([
+            (0.1, log.append, ("run:0.1",)),
+            (0.2, log.append, ("run:0.2",)),
+        ])
+        sim.schedule(0.25, log.append, "heap:0.25")
+        sim.run()
+        assert log == ["run:0.1", "heap:0.15", "run:0.2", "heap:0.25"]
+
+    def test_equal_time_ties_resolve_by_insertion_seq_across_lanes(self):
+        # seqs are drawn from the shared counter at insertion: a run
+        # item inserted *before* an equal-time push fires first, one
+        # inserted *after* fires second — just like individual pushes.
+        sim = Simulator()
+        log = []
+        sim._queue.push_run([(0.1, log.append, ("run-first",))])
+        sim.schedule_at(0.1, log.append, "push-second")
+        sim._queue.push_run([(0.1, log.append, ("run-third",))])
+        sim._queue.push_batch([(0.1, log.append, ("batch-fourth",))])
+        sim.run()
+        assert log == ["run-first", "push-second", "run-third", "batch-fourth"]
+
+    def test_zero_delay_fifo_preempts_at_equal_time(self):
+        # A callback scheduled with delay 0 *during* a drain goes to
+        # the nowq with a later seq but the same timestamp; the drain
+        # must yield to it before any same-time run item inserted
+        # after it... and run earlier-seq run items first.
+        sim = Simulator()
+        log = []
+
+        def spawner():
+            log.append("run:first")
+            sim.schedule(0.0, log.append, "nowq:child")
+
+        sim._queue.push_run([
+            (0.1, spawner, ()),
+            (0.1, log.append, ("run:second",)),
+            (0.2, log.append, ("run:third",)),
+        ])
+        sim.run()
+        # run:second was inserted (seq-wise) before nowq:child was
+        # created, so it fires first; the nowq child still beats the
+        # strictly-later 0.2 item.
+        assert log == ["run:first", "run:second", "nowq:child", "run:third"]
+
+    def test_empty_train_is_a_noop(self):
+        sim = Simulator()
+        run = sim._queue.push_run([])
+        assert len(run) == 0
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_executed == 0
+
+    def test_singleton_train(self):
+        sim = Simulator()
+        log = []
+        sim._queue.push_run([(0.5, log.append, ("only",))])
+        assert sim.pending_events == 1
+        final = sim.run()
+        assert log == ["only"]
+        assert final == 0.5
+
+    def test_non_monotone_train_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim._queue.push_run([
+                (0.2, print, ()),
+                (0.1, print, ()),
+            ])
+
+    def test_extend_cancelled_run_rejected(self):
+        sim = Simulator()
+        run = sim._queue.push_run([(0.1, print, ())])
+        run.cancel()
+        with pytest.raises(SimulationError):
+            sim._queue.extend_run(run, [(0.2, print, ())])
+
+
+class TestRunCancellation:
+    def test_cancel_before_any_item_fires(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.1, log.append, ("a",)), (0.2, log.append, ("b",))])
+        run.cancel()
+        sim.run()
+        assert log == []
+        assert sim.pending_events == 0
+
+    def test_cancel_mid_flight_from_a_timer(self):
+        # A heap event between two run items cancels the train: the
+        # already-executed prefix stands, the tail never fires, and the
+        # queue's live count drops to zero.
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([
+            (0.1, log.append, ("a",)),
+            (0.3, log.append, ("b",)),
+        ])
+        sim.schedule_at(0.2, run.cancel)
+        sim.run()
+        assert log == ["a"]
+        assert sim.pending_events == 0
+
+    def test_cancel_from_inside_an_item_stops_the_rest_of_the_segment(self):
+        sim = Simulator()
+        log = []
+        run = EventRun()
+        sim._queue.extend_run(run, [
+            (0.1, log.append, ("a",)),
+            (0.1, run.cancel, ()),
+            (0.1, log.append, ("never",)),
+        ])
+        sim.run()
+        assert log == ["a"]
+        assert sim.pending_events == 0
+
+    def test_cancelled_run_prunes_from_peek_time(self):
+        sim = Simulator()
+        run = sim._queue.push_run([(0.1, print, ())])
+        sim.schedule_at(0.4, lambda: None)
+        run.cancel()
+        assert sim._queue.peek_time() == 0.4
+
+
+class TestRunHorizonAndStep:
+    def test_horizon_splits_a_train_across_two_runs(self):
+        sim = Simulator()
+        log = []
+        sim._queue.push_run([(t, log.append, (t,)) for t in (0.1, 0.2, 0.3, 0.4)])
+        sim.run(until=0.25)
+        assert log == [0.1, 0.2]
+        assert sim.now == 0.25
+        sim.run(until=1.0)
+        assert log == [0.1, 0.2, 0.3, 0.4]
+
+    def test_item_exactly_at_horizon_fires(self):
+        sim = Simulator()
+        log = []
+        sim._queue.push_run([(0.1, log.append, (0.1,)), (0.2, log.append, (0.2,))])
+        sim.run(until=0.2)
+        assert log == [0.1, 0.2]
+
+    def test_step_unbundles_one_item_at_a_time(self):
+        sim = Simulator()
+        log = []
+        sim._queue.push_run([(0.1, log.append, ("a",)), (0.2, log.append, ("b",))])
+        assert sim.step() is True
+        assert log == ["a"]
+        assert sim.now == 0.1
+        assert sim.step() is True
+        assert log == ["a", "b"]
+        assert sim.step() is False
+
+    def test_extend_while_in_flight_rearms_the_train(self):
+        # Feed the run from one of its own items: the appended tail
+        # must keep draining within the same lane.
+        sim = Simulator()
+        log = []
+        run = EventRun()
+
+        def feed():
+            log.append("head")
+            sim._queue.extend_run(run, [(0.3, log.append, ("tail",))])
+
+        sim._queue.extend_run(run, [(0.1, feed, ())])
+        sim.run()
+        assert log == ["head", "tail"]
+
+
+class TestRunLaneMicrobench:
+    def test_train_collapses_kernel_events(self):
+        # 10k callbacks as one train vs 10k heap events: identical
+        # callback order and final time, kernel event count 1 vs 10k.
+        n = 10_000
+        times = [1e-6 * (i + 1) for i in range(n)]
+
+        sim_run = Simulator()
+        got_run = []
+        sim_run._queue.push_run([(t, got_run.append, (t,)) for t in times])
+        sim_run.run()
+
+        sim_evt = Simulator()
+        got_evt = []
+        sim_evt._queue.push_batch([(t, got_evt.append, (t,)) for t in times])
+        sim_evt.run()
+
+        assert got_run == got_evt == times
+        assert sim_run.now == sim_evt.now
+        assert sim_evt.events_executed == n
+        assert sim_run.events_executed == 1
