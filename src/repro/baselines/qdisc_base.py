@@ -30,15 +30,21 @@ class LeafQueue:
         self._queue: Deque[Packet] = deque()
         #: Packets rejected because the queue was full.
         self.tail_drops = 0
-        #: High-water mark.
+        #: High-water mark (packets).
         self.max_backlog = 0
+        #: Queued bytes, maintained incrementally — kernel qdiscs keep
+        #: ``qstats.backlog`` the same way; recomputing per read is
+        #: O(n) on a hot path.
+        self._backlog_bytes = 0
+        #: High-water mark (bytes).
+        self.max_backlog_bytes = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
     @property
     def backlog_bytes(self) -> int:
-        return sum(p.size for p in self._queue)
+        return self._backlog_bytes
 
     def push(self, packet: Packet) -> bool:
         """Enqueue; False (and drop-marked) when at the limit."""
@@ -47,15 +53,22 @@ class LeafQueue:
             packet.mark_dropped(DropReason.CLASS_QUEUE_FULL)
             return False
         self._queue.append(packet)
+        self._backlog_bytes += packet.size
         if len(self._queue) > self.max_backlog:
             self.max_backlog = len(self._queue)
+        if self._backlog_bytes > self.max_backlog_bytes:
+            self.max_backlog_bytes = self._backlog_bytes
         return True
 
     def peek(self) -> Optional[Packet]:
         return self._queue[0] if self._queue else None
 
     def pop(self) -> Optional[Packet]:
-        return self._queue.popleft() if self._queue else None
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._backlog_bytes -= packet.size
+        return packet
 
 
 class Qdisc:

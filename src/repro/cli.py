@@ -130,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-limit", type=int, default=0,
         help="cap on stored trace records, oldest evicted (0 = unlimited)",
     )
+    simulate.add_argument(
+        "--scheduler", default="flowvalve", metavar="NAME",
+        help="crossbar scheduler to run the policy on (default flowvalve; "
+             "see repro.sched.registry — htb, prio, dpdk_qos, fifo, "
+             "pfabric, srpt, wfq). Non-default schedulers run on the "
+             "ScheduledPort DES runtime",
+    )
+    simulate.add_argument(
+        "--backend", default="pifo", choices=("pifo", "eiffel"),
+        help="queue backend for rank-program schedulers (default pifo)",
+    )
 
     bench = sub.add_parser(
         "bench", parents=[_sim_parent(explicit=True)],
@@ -270,6 +281,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     policy = _load_policy(args.script)
     link = parse_rate(args.link)
     demands = _parse_apps(args.app)
+    if getattr(args, "scheduler", "flowvalve") != "flowvalve":
+        # Crossbar schedulers run on the ScheduledPort DES runtime;
+        # trace/metrics plumbing currently lives in the FlowValve NIC
+        # pipeline only.
+        if args.trace or args.metrics or args.nic:
+            raise ReproError(
+                "--trace/--metrics/--nic require the flowvalve scheduler; "
+                f"--scheduler {args.scheduler} runs the crossbar DES runtime"
+            )
+        return _cmd_simulate_sched(args, policy, link, demands)
     if args.nic or args.trace or args.metrics:
         # Observability lives in the DES pipeline (queues, workers,
         # traffic manager), so --trace/--metrics imply --nic.
@@ -383,6 +404,64 @@ def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Di
 
             count = write_jsonl(args.metrics, [{"time": sim.now, **registry.snapshot()}])
         print(f"  metrics: {count} snapshots -> {args.metrics}")
+    return 0
+
+
+def _cmd_simulate_sched(args: argparse.Namespace, policy, link: float, demands: Dict[str, float]) -> int:
+    """``fv simulate --scheduler NAME``: the crossbar DES runtime.
+
+    Builds the named scheduler from the policy, drives it on a
+    :class:`~repro.sched.runtime.ScheduledPort` against constant-rate
+    senders, and prints achieved rates — the what-if evaluator for any
+    scheduler the registry knows.
+    """
+    from .experiments.base import ScaledSetup, _scale_demand
+    from .experiments.crossbar import WORKER_FREQ_HZ
+    from .host import FixedRateSender
+    from .net import Link, PacketSink
+    from .sched import ScheduledPort, build_scheduler
+    from .sim import Simulator
+
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive, got {args.scale}")
+    setup = ScaledSetup.for_link(link, scale=args.scale, seed=args.seed)
+    sim = Simulator(seed=setup.seed)
+    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
+    wire = Link(sim, setup.scaled_wire_bps, receiver=sink.receive)
+    sched = build_scheduler(
+        args.scheduler, policy, setup.link_bps,
+        backend=args.backend, params=setup.sched_params(),
+    )
+    port = ScheduledPort(sim, sched, wire, freq_hz=WORKER_FREQ_HZ / setup.scale)
+    factory = PacketFactory()
+    for index, app in enumerate(sorted(demands)):
+        FixedRateSender(
+            sim, app, factory, port.submit,
+            rate_bps=setup.sender_rate(),
+            packet_size=args.packet_size,
+            demand=_scale_demand(lambda t, rate=demands[app]: rate, setup.scale),
+            vf_index=index,
+            jitter=0.1,
+            rng=sim.random.stream(app),
+        )
+    sim.run(until=args.duration)
+
+    elapsed = args.duration if args.duration > 0 else float("inf")
+    print(
+        f"simulated {args.duration:.1f}s at link {format_rate(link)} "
+        f"(scheduler={args.scheduler}, backend={args.backend}, "
+        f"scale=1/{setup.scale:g}, seed={setup.seed}):"
+    )
+    for app in sorted(demands):
+        achieved = sink.bytes[app] * 8 / elapsed * setup.scale
+        print(
+            f"  {app:>8s}: offered {format_rate(demands[app]):>12s}"
+            f"  achieved {format_rate(achieved):>12s}"
+        )
+    total = sink.total_bytes * 8 / elapsed * setup.scale
+    print(f"  {'total':>8s}: {format_rate(total):>12s}")
+    print(f"  {port.stats_summary()}")
+    print(f"  {sched.describe()}")
     return 0
 
 

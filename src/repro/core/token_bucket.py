@@ -95,9 +95,15 @@ class TokenBucket:
     def set_rate(self, rate_bps: float, now: float) -> None:
         """Re-rate the bucket: settle tokens at the old θ up to *now*,
         then switch to the new rate (so a rate change never retro-
-        actively grants or revokes tokens)."""
+        actively grants or revokes tokens).
+
+        Rejects negative rates like ``__init__`` — silently clamping
+        here would hide a caller's arithmetic bug as a stalled class.
+        """
+        if rate_bps < 0:
+            raise ValueError(f"rate must be non-negative, got {rate_bps}")
         self.refill(now)
-        self.rate_bps = max(0.0, rate_bps)
+        self.rate_bps = rate_bps
 
     def resize(self, burst_bits: float) -> None:
         """Change capacity, clamping current tokens into the new size."""

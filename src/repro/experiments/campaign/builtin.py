@@ -15,7 +15,7 @@ from typing import Optional
 
 from ...errors import TransientError
 from ...stats.report import Table
-from .. import ablations, cpu_cores, fig03, fig11, fig13, fig14, hotpath, tcp_realism
+from .. import ablations, cpu_cores, crossbar, fig03, fig11, fig13, fig14, hotpath, tcp_realism
 from ..base import ScaledSetup
 from .spec import REGISTRY, register
 
@@ -138,6 +138,13 @@ def _register_builtins() -> None:
         "hotpath", hotpath.run,
         description="E-PERF — DES kernel events/sec + packets/sec microbenchmark",
         schema={"events": int, "packets": int},
+    )
+    register(
+        "sched_crossbar", crossbar.run,
+        description="Crossbar — any registered scheduler × workload on the NIC model",
+        grid={"scheduler": ["flowvalve", "wfq"], "workload": ["motivation"]},
+        defaults={"duration": 20.0, "backend": "pifo"},
+        schema={"series": dict},
     )
     register(
         "smoke_sleep", smoke_sleep,

@@ -48,6 +48,11 @@ class CycleCosts:
     meter: int = 120
     #: One shadow-bucket borrow query (update probe + atomic meter).
     borrow_query: int = 200
+    #: One Tx-ring insert/remove (atomic index bump + descriptor slot),
+    #: same scale as the try-lock probe. Used by the crossbar cost
+    #: model (DESIGN.md §10); the assembled pipeline folds ring work
+    #: into ``fixed_overhead``.
+    ring_op: int = 60
 
     def validate(self) -> None:
         """All budgets must be non-negative."""

@@ -1,0 +1,47 @@
+"""The pluggable scheduler framework (ROADMAP item 3).
+
+A crossbar where any scheduling policy runs on any workload over the
+same NIC model:
+
+* :mod:`.base` — the :class:`Scheduler` interface (classify → rank/
+  admit → enqueue → dequeue) with per-step cycle costs;
+* :mod:`.queues` — the two queue backends: an exact PIFO heap and an
+  Eiffel-style FFS circular bucket queue;
+* :mod:`.programs` — policies as rank functions (FIFO, pFabric/SRPT,
+  WFQ);
+* :mod:`.rank` — the generic rank scheduler over either backend;
+* :mod:`.adapters` — FlowValve's Algorithm 1 and the kernel/DPDK
+  baselines behind the same interface;
+* :mod:`.registry` — name → builder resolution for the campaign axis
+  and ``fv simulate --scheduler``;
+* :mod:`.runtime` — :class:`ScheduledPort`, the DES drain loop that
+  charges step costs and paces the wire.
+"""
+
+from .base import Scheduler, SchedulerStats, StepCosts
+from .queues import EiffelBucketQueue, PifoQueue, make_queue
+from .programs import FifoProgram, PFabricProgram, RankProgram, SrptProgram, WfqProgram
+from .rank import RankScheduler
+from .adapters import FlowValveScheduler, QdiscScheduler
+from .registry import build_scheduler, scheduler_names
+from .runtime import ScheduledPort
+
+__all__ = [
+    "Scheduler",
+    "SchedulerStats",
+    "StepCosts",
+    "PifoQueue",
+    "EiffelBucketQueue",
+    "make_queue",
+    "RankProgram",
+    "FifoProgram",
+    "SrptProgram",
+    "PFabricProgram",
+    "WfqProgram",
+    "RankScheduler",
+    "FlowValveScheduler",
+    "QdiscScheduler",
+    "build_scheduler",
+    "scheduler_names",
+    "ScheduledPort",
+]

@@ -1,0 +1,123 @@
+"""The pluggable scheduler interface.
+
+ROADMAP item 3: any scheduling policy should run on any workload over
+the same NIC model. A :class:`Scheduler` is the unit of that crossbar —
+it extends the classful qdisc contract (``enqueue``/``dequeue``/
+``next_ready_time``/``backlog``) the kernel and DPDK runtimes already
+drive, and adds two things those runtimes never needed:
+
+* **step costs** — a :class:`StepCosts` budget (micro-engine cycles per
+  classify / rank / enqueue / dequeue step) so the worker model can
+  charge the pipeline stages of *any* scheduler the way the calibrated
+  FlowValve pipeline charges Algorithm 1's steps;
+* **uniform statistics** — a :class:`SchedulerStats` ledger every
+  implementation fills the same way, so crossbar reports compare
+  schedulers without per-scheduler accessors.
+
+Implementations: :class:`~repro.sched.rank.RankScheduler` (rank
+programs over a PIFO/Eiffel backend) and the adapters in
+:mod:`repro.sched.adapters` (FlowValve's Algorithm 1, kernel qdiscs,
+DPDK QoS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.qdisc_base import Qdisc
+from ..errors import SchedulingError
+from ..net.packet import Packet
+
+__all__ = ["StepCosts", "SchedulerStats", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """Per-step cycle budgets of one scheduler, in worker-core cycles.
+
+    The four steps mirror the pipeline every scheduler decomposes into:
+    *classify* (match the packet to a class/flow key), *rank* (compute
+    its service order / admission verdict), *enqueue* (insert into the
+    queue structure) and *dequeue* (extract the next packet and write
+    its Tx descriptor). Defaults are modest estimates anchored to the
+    calibrated :class:`~repro.nic.config.CycleCosts` scale (an EMC hit
+    is 180 cycles there); adapters override them with their own
+    calibration — e.g. DPDK QoS carries its measured 1022 cycles/packet
+    split across enqueue/dequeue.
+    """
+
+    classify: float = 180.0
+    rank: float = 120.0
+    enqueue: float = 150.0
+    dequeue: float = 200.0
+
+    def __post_init__(self) -> None:
+        for name in ("classify", "rank", "enqueue", "dequeue"):
+            if getattr(self, name) < 0:
+                raise SchedulingError(f"step cost {name} must be >= 0")
+
+    @property
+    def per_packet(self) -> float:
+        """Total cycles one forwarded packet pays across all steps."""
+        return self.classify + self.rank + self.enqueue + self.dequeue
+
+    def seconds(self, freq_hz: float) -> float:
+        """Per-packet budget as seconds at a *freq_hz* worker clock."""
+        return self.per_packet / freq_hz
+
+
+@dataclass
+class SchedulerStats:
+    """Lifetime counters every :class:`Scheduler` maintains."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    #: Packets refused at enqueue (admission, queue-full, red verdict).
+    dropped: int = 0
+    #: Subset of ``dropped``: queued packets displaced by a better one.
+    evicted: int = 0
+    #: Subset of ``dropped``: no classification matched.
+    unclassified: int = 0
+
+
+class Scheduler(Qdisc):
+    """A packet scheduler behind the crossbar interface.
+
+    The conceptual per-packet pipeline is classify → rank/admit →
+    enqueue, then dequeue on the egress side; concrete subclasses may
+    fuse steps (FlowValve's Algorithm 1 *is* the rank/admit step) but
+    must keep the :class:`Qdisc` contract: ``enqueue`` returns False
+    (with the packet drop-marked) on refusal, ``dequeue`` returns
+    ``None`` when empty or throttled, ``next_ready_time`` bounds the
+    runtime's sleep.
+    """
+
+    #: Registry/display name; subclasses override.
+    name: str = "scheduler"
+
+    def __init__(self, costs: Optional[StepCosts] = None):
+        self.costs = costs if costs is not None else StepCosts()
+        self.stats = SchedulerStats()
+
+    # Qdisc.enqueue/dequeue/next_ready_time/backlog stay abstract.
+
+    def describe(self) -> str:
+        """One status line for reports."""
+        s = self.stats
+        return (
+            f"{self.name}: enq={s.enqueued} deq={s.dequeued} "
+            f"drop={s.dropped} (evicted={s.evicted}, "
+            f"unclassified={s.unclassified}) backlog={self.backlog}"
+        )
+
+    # Convenience used by tests and small harnesses -------------------
+    def drain(self, now: float, limit: Optional[int] = None) -> list:
+        """Dequeue until empty/throttled (or *limit* packets)."""
+        out = []
+        while limit is None or len(out) < limit:
+            packet = self.dequeue(now)
+            if packet is None:
+                break
+            out.append(packet)
+        return out

@@ -1,0 +1,141 @@
+"""Rank programs: scheduling policies as functions packet → rank.
+
+The PIFO abstraction's central result is that a large family of
+schedulers reduce to "compute a rank at enqueue, always dequeue the
+minimum". A :class:`RankProgram` is that computation, kept separate
+from the queue backend so any program runs over either the exact PIFO
+heap or the approximate Eiffel bucket queue.
+
+Programs here:
+
+* :class:`FifoProgram` — arrival order (rank = arrival counter).
+* :class:`SrptProgram` — shortest remaining processing time: rank =
+  remaining flow bytes. When flow sizes are unknown (our CBR/TCP
+  senders don't announce them), it degrades to LAS (least attained
+  service) — rank = bytes already sent by the flow — which is the
+  standard information-oblivious stand-in (Eiffel ships the same
+  fallback).
+* :class:`PFabricProgram` — pFabric's scheduling half: identical rank
+  function to SRPT (remaining size). pFabric's other half — tiny
+  switch buffers with eviction of the worst-ranked packet — is the
+  ``evict_on_full`` admission mode of
+  :class:`~repro.sched.rank.RankScheduler`.
+* :class:`WfqProgram` — weighted fair queueing via virtual-time finish
+  tags: ``F_k = max(V, F_{k-1}) + size/weight``; the virtual clock V
+  advances to the rank of each dequeued packet (start-time-fair
+  approximations differ only in the V update).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..net.packet import Packet
+
+__all__ = ["RankProgram", "FifoProgram", "SrptProgram", "PFabricProgram", "WfqProgram"]
+
+
+class RankProgram:
+    """One scheduling policy expressed as a rank function.
+
+    ``key`` is the packet's classification key (class/flow id) — the
+    scheduler computes it once and passes it to both hooks.
+    """
+
+    #: Display name.
+    name: str = "rank"
+    #: A rank step below which the program never distinguishes packets
+    #: — the natural Eiffel bucket granularity for this rank space.
+    natural_granularity: float = 1.0
+
+    def rank(self, packet: Packet, key: str, now: float) -> float:
+        raise NotImplementedError
+
+    def on_dequeue(self, packet: Packet, rank: float, now: float) -> None:
+        """Called when a packet leaves the queue (default: nothing)."""
+
+
+class FifoProgram(RankProgram):
+    """Arrival order — the identity scheduler (useful as a baseline
+    and to sanity-check backends: any backend must serve FIFO ranks in
+    FIFO order)."""
+
+    name = "fifo"
+    natural_granularity = 64.0  # ranks are integers; 64 arrivals/bucket
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def rank(self, packet: Packet, key: str, now: float) -> float:
+        self._counter += 1
+        return float(self._counter)
+
+
+class SrptProgram(RankProgram):
+    """Shortest remaining processing time, LAS when sizes are unknown.
+
+    ``flow_sizes`` maps classification keys to total flow bytes; keys
+    absent from the map use the LAS fallback.
+    """
+
+    name = "srpt"
+    #: Ranks are bytes; one bucket ≈ 43 MTU-sized frames.
+    natural_granularity = 65536.0
+
+    def __init__(self, flow_sizes: Optional[Mapping[str, float]] = None):
+        self.flow_sizes = dict(flow_sizes) if flow_sizes else {}
+        #: Bytes offered so far per key (drives both modes).
+        self.attained: Dict[str, float] = {}
+
+    def rank(self, packet: Packet, key: str, now: float) -> float:
+        attained = self.attained.get(key, 0.0)
+        total = self.flow_sizes.get(key)
+        if total is not None:
+            rank = max(0.0, total - attained)  # remaining size (SRPT)
+        else:
+            rank = attained  # least attained service (LAS)
+        self.attained[key] = attained + packet.size
+        return rank
+
+
+class PFabricProgram(SrptProgram):
+    """pFabric's rank function — remaining flow size, like SRPT.
+
+    Use with ``evict_on_full=True`` on the scheduler for the full
+    pFabric behaviour (small buffers, worst-packet eviction).
+    """
+
+    name = "pfabric"
+
+
+class WfqProgram(RankProgram):
+    """Weighted fair queueing by virtual-time finish tags.
+
+    ``weights`` maps classification keys to relative weights (missing
+    keys get ``default_weight``). Ranks are in "virtual bits": a
+    packet's tag advances its flow's finish time by ``8·size/weight``.
+    """
+
+    name = "wfq"
+    #: One MTU frame of virtual bits at weight 1.
+    natural_granularity = 12144.0
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None, default_weight: float = 1.0):
+        self.weights = dict(weights) if weights else {}
+        self.default_weight = default_weight
+        self._finish: Dict[str, float] = {}
+        #: The virtual clock (monotone; advanced on dequeue).
+        self.vtime = 0.0
+
+    def weight_of(self, key: str) -> float:
+        return self.weights.get(key, self.default_weight)
+
+    def rank(self, packet: Packet, key: str, now: float) -> float:
+        start = max(self.vtime, self._finish.get(key, 0.0))
+        finish = start + packet.size * 8.0 / self.weight_of(key)
+        self._finish[key] = finish
+        return finish
+
+    def on_dequeue(self, packet: Packet, rank: float, now: float) -> None:
+        if rank > self.vtime:
+            self.vtime = rank

@@ -1,0 +1,127 @@
+"""The rank scheduler: classify → rank → admit → queue backend.
+
+:class:`RankScheduler` is the generic half of the crossbar: any
+:class:`~repro.sched.programs.RankProgram` over any queue backend
+(:mod:`repro.sched.queues`). Classification reuses the same filter
+machinery as FlowValve and the kernel qdiscs (a
+:class:`~repro.tc.classifier.Classifier` whose flowids become rank
+keys); without filters the packet's ``app`` tag is the key — the
+testbed convention everywhere else in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.packet import DropReason, Packet
+from ..tc.classifier import Classifier
+from .base import Scheduler, StepCosts
+from .programs import RankProgram
+from .queues import make_queue
+
+__all__ = ["RankScheduler"]
+
+
+class RankScheduler(Scheduler):
+    """A rank program over a PIFO/Eiffel backend with bounded buffering.
+
+    Parameters
+    ----------
+    program: the rank function (and its dequeue hook).
+    backend: ``"pifo"`` (exact) or ``"eiffel"`` (bucketed).
+    classifier: optional filter rules; matched flowids become rank
+        keys. Unmatched packets fall back to ``default_key`` (or are
+        dropped as unclassified when that is ``None``).
+    limit_packets: total buffered packets across all keys.
+    evict_on_full: when full, displace the currently-queued packet
+        with the *largest* rank if the newcomer ranks strictly better
+        (pFabric's small-buffer behaviour); otherwise tail-drop the
+        newcomer. Re-inserting an evicted survivor is never needed —
+        eviction removes exactly one entry, making room for exactly
+        one.
+    granularity / n_buckets: Eiffel wheel geometry; granularity
+        defaults to the program's ``natural_granularity``.
+    """
+
+    def __init__(
+        self,
+        program: RankProgram,
+        backend: str = "pifo",
+        classifier: Optional[Classifier] = None,
+        default_key: Optional[str] = None,
+        limit_packets: int = 4096,
+        evict_on_full: bool = False,
+        granularity: Optional[float] = None,
+        n_buckets: int = 256,
+        costs: Optional[StepCosts] = None,
+    ):
+        super().__init__(costs)
+        self.program = program
+        self.backend = backend
+        self.classifier = classifier
+        self.default_key = default_key
+        self.limit = limit_packets
+        self.evict_on_full = evict_on_full
+        if granularity is None:
+            granularity = program.natural_granularity
+        self.queue = make_queue(backend, granularity=granularity, n_buckets=n_buckets)
+        self.name = f"{program.name}[{backend}]"
+
+    # ------------------------------------------------------------------
+    def key_for(self, packet: Packet) -> Optional[str]:
+        """The packet's rank key: filter flowid, else app tag/default."""
+        if self.classifier is not None and len(self.classifier):
+            flowid = self.classifier.classify(packet)
+            if flowid is not None:
+                return flowid
+            return self.default_key
+        if packet.app:
+            return packet.app
+        return self.default_key
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        key = self.key_for(packet)
+        if key is None:
+            self.stats.unclassified += 1
+            self.stats.dropped += 1
+            packet.mark_dropped(DropReason.UNCLASSIFIED)
+            return False
+        rank = self.program.rank(packet, key, now)
+        if len(self.queue) >= self.limit:
+            if not self.evict_on_full:
+                self.stats.dropped += 1
+                packet.mark_dropped(DropReason.CLASS_QUEUE_FULL)
+                return False
+            worst = self.queue.pop_max()
+            if worst is not None and worst[0] <= rank:
+                # Newcomer is no better than the worst resident: the
+                # resident keeps its slot, the newcomer drops.
+                self.queue.push(worst[0], worst[1])
+                self.stats.dropped += 1
+                packet.mark_dropped(DropReason.CLASS_QUEUE_FULL)
+                return False
+            if worst is not None:
+                self.stats.evicted += 1
+                self.stats.dropped += 1
+                worst[1].mark_dropped(DropReason.CLASS_QUEUE_FULL)
+        self.queue.push(rank, packet)
+        self.stats.enqueued += 1
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        entry = self.queue.pop()
+        if entry is None:
+            return None
+        rank, packet = entry
+        self.program.on_dequeue(packet, rank, now)
+        self.stats.dequeued += 1
+        return packet
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        # Rank schedulers are work-conserving: ready iff non-empty
+        # (pacing/shaping is the runtime's job, not the rank order's).
+        return now if len(self.queue) else None
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)

@@ -170,3 +170,46 @@ class TestHtbScheduling:
     def test_next_ready_time_none_when_empty(self):
         qdisc = self._two_class_qdisc()
         assert qdisc.next_ready_time(0.0) is None
+
+
+class TestLeafQueueByteAccounting:
+    """backlog_bytes is an O(1) incremental counter — it must track
+    the recomputed sum through any push/pop/drop sequence."""
+
+    def _recount(self, queue):
+        return sum(p.size for p in queue._queue)
+
+    def test_counter_tracks_sum_through_mixed_ops(self, factory):
+        from repro.baselines.qdisc_base import LeafQueue
+
+        queue = LeafQueue(limit_packets=4)
+        sizes = [64, 1500, 700, 1518, 300, 900]
+        for size in sizes[:4]:
+            assert queue.push(packet(factory, size=size))
+            assert queue.backlog_bytes == self._recount(queue)
+        # Tail drops (queue full) must not touch the byte counter.
+        assert not queue.push(packet(factory, size=sizes[4]))
+        assert queue.tail_drops == 1
+        assert queue.backlog_bytes == self._recount(queue) == 64 + 1500 + 700 + 1518
+        queue.pop()
+        queue.pop()
+        assert queue.backlog_bytes == self._recount(queue) == 700 + 1518
+        assert queue.push(packet(factory, size=sizes[5]))
+        assert queue.backlog_bytes == self._recount(queue) == 700 + 1518 + 900
+        while queue.pop() is not None:
+            assert queue.backlog_bytes == self._recount(queue)
+        assert queue.backlog_bytes == 0
+        assert queue.pop() is None  # empty pop is a no-op
+        assert queue.backlog_bytes == 0
+
+    def test_byte_high_water_mark(self, factory):
+        from repro.baselines.qdisc_base import LeafQueue
+
+        queue = LeafQueue(limit_packets=10)
+        queue.push(packet(factory, size=1000))
+        queue.push(packet(factory, size=500))
+        queue.pop()
+        queue.pop()
+        queue.push(packet(factory, size=200))
+        assert queue.max_backlog_bytes == 1500
+        assert queue.max_backlog == 2

@@ -153,3 +153,56 @@ class TestSimulate:
                 break
         else:
             pytest.fail(f"no per-app line in output:\n{out}")
+
+
+class TestSimulateScheduler:
+    """fv simulate --scheduler NAME: the crossbar DES runtime."""
+
+    @pytest.fixture
+    def policy_10g(self, tmp_path):
+        path = tmp_path / "policy.fv"
+        path.write_text(POLICY.replace("10mbit", "10gbit"))
+        return str(path)
+
+    def test_crossbar_scheduler_runs(self, policy_10g, capsys):
+        code = main([
+            "simulate", policy_10g, "--link", "10gbit",
+            "--app", "A=9gbit", "--app", "B=9gbit",
+            "--duration", "2", "--scale", "500",
+            "--scheduler", "wfq", "--backend", "eiffel",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler=wfq" in out and "backend=eiffel" in out
+        assert "port[wfq[eiffel]]" in out
+        assert "total" in out
+
+    def test_default_scheduler_path_unchanged(self, policy_file, capsys):
+        # --scheduler flowvalve is the default route: identical output
+        # shape to a plain `fv simulate`.
+        code = main([
+            "simulate", policy_file, "--link", "10mbit",
+            "--app", "A=20mbit", "--duration", "5",
+            "--scheduler", "flowvalve",
+        ])
+        assert code == 0
+        assert "achieved" in capsys.readouterr().out
+
+    def test_scheduler_excludes_trace(self, policy_10g, tmp_path, capsys):
+        code = main([
+            "simulate", policy_10g, "--link", "10gbit",
+            "--app", "A=9gbit", "--duration", "2", "--scale", "500",
+            "--scheduler", "wfq", "--trace", str(tmp_path / "t.jsonl"),
+        ])
+        assert code == 1
+        assert "flowvalve" in capsys.readouterr().err
+
+    def test_unknown_scheduler_reported(self, policy_10g, capsys):
+        code = main([
+            "simulate", policy_10g, "--link", "10gbit",
+            "--app", "A=9gbit", "--duration", "1", "--scale", "500",
+            "--scheduler", "cake",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cake" in err and "registered" in err

@@ -128,3 +128,20 @@ class TestRateConformance:
         bucket = TokenBucket(0.0, 1000.0)
         bucket.drain()
         assert bucket.tokens == 0.0
+
+
+class TestSetRateValidation:
+    def test_negative_rate_rejected_like_init(self):
+        bucket = TokenBucket(1000.0, 10_000.0, start_full=False)
+        with pytest.raises(ValueError):
+            bucket.set_rate(-1.0, now=1.0)
+        # The failed call must not have settled tokens or changed rate.
+        assert bucket.rate_bps == 1000.0
+        assert bucket.tokens == 0.0
+        assert bucket.last_refill == 0.0
+
+    def test_zero_rate_allowed(self):
+        bucket = TokenBucket(1000.0, 10_000.0, start_full=False)
+        bucket.set_rate(0.0, now=1.0)
+        assert bucket.rate_bps == 0.0
+        assert bucket.tokens == pytest.approx(1000.0)  # settled first

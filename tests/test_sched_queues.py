@@ -1,0 +1,233 @@
+"""Tests for the rank-queue backends (PIFO heap, Eiffel bucket queue)
+and the PIFO↔Eiffel conformance suite."""
+
+import random
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.net import FiveTuple, PacketFactory
+from repro.sched import EiffelBucketQueue, PifoQueue, make_queue
+
+FLOW = FiveTuple("10.0.0.1", "10.0.1.1", 1, 2)
+
+
+def mint(n, size=1500):
+    factory = PacketFactory()
+    return [factory.make(size, FLOW, 0.0, app=f"p{i}") for i in range(n)]
+
+
+class TestPifo:
+    def test_pops_in_rank_order(self):
+        queue = PifoQueue()
+        pkts = mint(4)
+        for rank, pkt in zip([3.0, 1.0, 4.0, 2.0], pkts):
+            queue.push(rank, pkt)
+        ranks = [queue.pop()[0] for _ in range(4)]
+        assert ranks == [1.0, 2.0, 3.0, 4.0]
+        assert queue.pop() is None
+
+    def test_equal_ranks_are_fifo(self):
+        queue = PifoQueue()
+        pkts = mint(5)
+        for pkt in pkts:
+            queue.push(7.0, pkt)
+        out = [queue.pop()[1] for _ in range(5)]
+        assert out == pkts
+
+    def test_peek_rank(self):
+        queue = PifoQueue()
+        assert queue.peek_rank() is None
+        queue.push(9.0, mint(1)[0])
+        assert queue.peek_rank() == 9.0
+        assert len(queue) == 1
+
+    def test_pop_max_removes_largest(self):
+        queue = PifoQueue()
+        pkts = mint(4)
+        for rank, pkt in zip([2.0, 8.0, 5.0, 1.0], pkts):
+            queue.push(rank, pkt)
+        rank, pkt = queue.pop_max()
+        assert rank == 8.0 and pkt is pkts[1]
+        # The remaining entries still pop in order.
+        assert [queue.pop()[0] for _ in range(3)] == [1.0, 2.0, 5.0]
+
+    def test_pop_max_tie_takes_latest_arrival(self):
+        queue = PifoQueue()
+        pkts = mint(3)
+        for pkt in pkts:
+            queue.push(4.0, pkt)
+        _, pkt = queue.pop_max()
+        assert pkt is pkts[-1]
+
+    def test_pop_max_empty(self):
+        assert PifoQueue().pop_max() is None
+
+    def test_clear(self):
+        queue = PifoQueue()
+        queue.push(1.0, mint(1)[0])
+        queue.clear()
+        assert len(queue) == 0 and queue.pop() is None
+
+
+class TestEiffel:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(SchedulingError):
+            EiffelBucketQueue(granularity=0.0)
+        with pytest.raises(SchedulingError):
+            EiffelBucketQueue(n_buckets=1)
+
+    def test_pops_in_rank_order(self):
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=16)
+        pkts = mint(4)
+        for rank, pkt in zip([3.0, 1.0, 4.0, 2.0], pkts):
+            queue.push(rank, pkt)
+        assert [queue.pop()[0] for _ in range(4)] == [1.0, 2.0, 3.0, 4.0]
+        assert queue.pop() is None
+
+    def test_same_bucket_is_fifo(self):
+        # Ranks 5.1 and 5.9 share the granularity-1 bucket: arrival
+        # order wins inside it (the documented approximation).
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=16)
+        a, b = mint(2)
+        queue.push(5.9, a)
+        queue.push(5.1, b)
+        assert queue.pop()[1] is a
+        assert queue.pop()[1] is b
+
+    def test_overflow_spills_and_drains_in_order(self):
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=8)
+        pkts = mint(20)
+        ranks = list(range(20))
+        random.Random(3).shuffle(ranks)
+        for rank, pkt in zip(ranks, pkts):
+            queue.push(float(rank), pkt)
+        assert queue.overflow_pushes > 0
+        popped = [queue.pop()[0] for _ in range(20)]
+        assert popped == sorted(float(r) for r in ranks)
+
+    def test_rebase_after_drain(self):
+        # Drain the wheel, then push far beyond the horizon: the next
+        # pop re-bases the wheel onto the spill heap.
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=8)
+        a, b = mint(2)
+        queue.push(0.0, a)
+        queue.pop()
+        queue.push(1000.0, b)
+        assert queue.overflow_pushes == 1
+        rank, pkt = queue.pop()
+        assert rank == 1000.0 and pkt is b
+        assert queue.rebases == 1
+        assert queue.base_rank == 1000.0
+
+    def test_late_push_clamps_into_head_bucket(self):
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=8)
+        a, b, c = mint(3)
+        queue.push(4.0, a)
+        queue.pop()  # head advances; base_rank == 4.0
+        queue.push(6.0, b)
+        queue.push(1.0, c)  # below the released floor
+        assert queue.late_pushes == 1
+        # The late packet serves next (head bucket), before rank 6.
+        assert queue.pop()[1] is c
+        assert queue.pop()[1] is b
+
+    def test_peek_rank(self):
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=4)
+        assert queue.peek_rank() is None
+        queue.push(100.0, mint(1)[0])  # straight to overflow
+        assert queue.peek_rank() == 100.0
+
+    def test_pop_max_prefers_overflow(self):
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=4)
+        a, b = mint(2)
+        queue.push(1.0, a)
+        queue.push(50.0, b)  # overflow
+        rank, pkt = queue.pop_max()
+        assert rank == 50.0 and pkt is b
+        assert queue.pop_max()[1] is a
+        assert queue.pop_max() is None
+
+    def test_pop_max_in_wheel_takes_largest(self):
+        queue = EiffelBucketQueue(granularity=2.0, n_buckets=8)
+        pkts = mint(3)
+        for rank, pkt in zip([1.0, 9.0, 8.5], pkts):
+            queue.push(rank, pkt)
+        rank, pkt = queue.pop_max()
+        assert rank == 9.0 and pkt is pkts[1]
+
+    def test_clear_resets_geometry(self):
+        queue = EiffelBucketQueue(granularity=1.0, n_buckets=4)
+        queue.push(2.0, mint(1)[0])
+        queue.push(99.0, mint(1)[0])
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.base_rank == 0.0 and queue.peek_rank() is None
+
+
+class TestConformance:
+    """PIFO and Eiffel must agree wherever Eiffel is exact: ranks on
+    the granularity lattice, pushes at or above the released floor."""
+
+    def _pair(self, n_buckets=16):
+        return PifoQueue(), EiffelBucketQueue(granularity=1.0, n_buckets=n_buckets)
+
+    def test_batch_identical_order_with_overflow(self):
+        pifo, eiffel = self._pair(n_buckets=16)
+        rng = random.Random(11)
+        pkts = mint(400)
+        for pkt in pkts:
+            rank = float(rng.randrange(0, 64))  # 4× the wheel horizon
+            pifo.push(rank, pkt)
+            eiffel.push(rank, pkt)
+        assert eiffel.overflow_pushes > 0
+        while len(pifo):
+            expect = pifo.pop()
+            got = eiffel.pop()
+            assert got[0] == expect[0]
+            assert got[1] is expect[1]
+        assert eiffel.pop() is None
+
+    def test_interleaved_identical_order(self):
+        # WFQ-like envelope: new ranks never fall below the largest
+        # rank already released (the virtual-time floor).
+        pifo, eiffel = self._pair(n_buckets=32)
+        rng = random.Random(23)
+        factory = PacketFactory()
+        floor = 0.0
+        mismatches = 0
+        for _ in range(2000):
+            if rng.random() < 0.6 or len(pifo) == 0:
+                rank = floor + float(rng.randrange(0, 200))
+                pkt = factory.make(1500, FLOW, 0.0)
+                pifo.push(rank, pkt)
+                eiffel.push(rank, pkt)
+            else:
+                expect = pifo.pop()
+                got = eiffel.pop()
+                if got[1] is not expect[1]:
+                    mismatches += 1
+                floor = max(floor, expect[0])
+        assert mismatches == 0
+        assert eiffel.rebases + eiffel.overflow_pushes > 0  # exercised
+
+    def test_fifo_ranks_serve_fifo_everywhere(self):
+        pifo, eiffel = self._pair()
+        pkts = mint(50)
+        for i, pkt in enumerate(pkts):
+            pifo.push(float(i), pkt)
+            eiffel.push(float(i), pkt)
+        assert [pifo.pop()[1] for _ in range(50)] == pkts
+        assert [eiffel.pop()[1] for _ in range(50)] == pkts
+
+
+class TestFactory:
+    def test_builds_both_backends(self):
+        assert isinstance(make_queue("pifo"), PifoQueue)
+        eiffel = make_queue("eiffel", granularity=2.0, n_buckets=8)
+        assert isinstance(eiffel, EiffelBucketQueue)
+        assert eiffel.granularity == 2.0 and eiffel.n_buckets == 8
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_queue("calendar")

@@ -179,6 +179,31 @@ class TestLatency:
     def test_percentile_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
+
+    def test_percentile_single_sample_any_p(self):
+        for p in (0, 37.5, 50, 100):
+            assert percentile([42.0], p) == 42.0
+
+    def test_percentile_sorts_input(self):
+        shuffled = [3.0, 1.0, 4.0, 2.0]
+        assert percentile(shuffled, 50) == pytest.approx(2.5)
+        assert percentile(shuffled, 0) == 1.0
+        assert percentile(shuffled, 100) == 4.0
+        assert shuffled == [3.0, 1.0, 4.0, 2.0]  # caller's list untouched
+
+    def test_percentile_exact_rank_no_interpolation(self):
+        # Odd count: p=50 lands exactly on the middle sample.
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50) == 3.0
+        # p=25 on 5 samples: rank 1.0 exactly.
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 25) == 2.0
+
+    def test_percentile_matches_numpy_linear(self):
+        # Reference values from numpy.percentile(..., method="linear").
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 90) == pytest.approx(37.0)
+        assert percentile(samples, 10) == pytest.approx(13.0)
 
     def test_jitter_zero_for_constant(self):
         assert jitter([5.0, 5.0, 5.0]) == 0.0
