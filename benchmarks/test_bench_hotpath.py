@@ -34,12 +34,19 @@ SEED_PACKETS = hotpath.SEED_PACKETS
 SEED_PKT_PER_SEC = hotpath.SEED_PKT_PER_SEC
 
 #: Expected counts for the optimized build — deterministic for seed 7.
-#: 451,618 events / 179,154 packets = 2.52 ev/pkt with batched ingress
-#: (burst sender trains + lazy sink) on top of the batched egress fast
-#: path (was 919,441 / 5.13 with egress batching alone, 1,789,426 /
-#: 9.99 before that, 16.1 in the v0 seed).
-EXPECTED_EVENTS = 451_618
+#: 14,843 events / 179,154 packets = 0.083 ev/pkt with the fluid
+#: fast-forward lane absorbing quiescent-flow packets analytically on
+#: top of batched ingress/egress (was 451,618 / 2.52 with batching
+#: alone, 919,441 / 5.13 with egress batching only, 1,789,426 / 9.99
+#: before that, 16.1 in the v0 seed).
+EXPECTED_EVENTS = 14_843
 EXPECTED_PACKETS = 179_154
+
+#: With the fluid lane disabled the run must reproduce the batched
+#: per-packet path exactly — same counts as the pre-fluid build. This
+#: is the fallback-exactness guard: fluid=off is not "roughly the
+#: same", it is the identical event sequence.
+EXPECTED_EVENTS_FLUID_OFF = 451_618
 
 DURATION = hotpath.DEFAULT_DURATION
 
@@ -84,14 +91,37 @@ def test_hotpath_events_and_packets_per_sec(benchmark, emit):
         f"({SEED_EVENTS} -> {result.events})"
     )
 
-    # Batched ingress + egress cut the seed's kernel events ~6.4x
-    # (16.1 -> 2.52 ev/pkt) — this ratio is deterministic, so assert a
-    # floor just under it.
-    assert events_ratio > 6.0
+    # The fluid lane on top of batched ingress/egress cuts the seed's
+    # kernel events ~194x (16.1 -> 0.083 ev/pkt) — this ratio is
+    # deterministic, so assert a floor just under it.
+    assert events_ratio > 190.0
     # Loose wall-clock sanity floor (the real target, >= 2x the seed's
     # ~17.5k pkt/s, is recorded in BENCH_hotpath.json; a hard 2x assert
     # here would flake on loaded CI machines).
     assert result.packets_per_sec > 0.5 * SEED_PKT_PER_SEC
+
+
+def test_hotpath_fluid_off_reproduces_packet_path(benchmark, emit):
+    """fluid=off must replay the committed per-packet world exactly.
+
+    The fluid lane's contract is bit-identity with deferral, so turning
+    it off has to reproduce the pre-fluid event count to the event —
+    any drift means the off-path (or the kernel underneath it) changed
+    semantics, not just performance.
+    """
+    sim, nic = hotpath.build(fluid=False)
+    result = run_once(
+        benchmark,
+        lambda: measure_run(
+            sim,
+            lambda: sim.run(until=DURATION),
+            lambda: nic.submitted,
+            label="fig11a-scale200-20s-fluid-off",
+        ),
+    )
+    assert result.events == EXPECTED_EVENTS_FLUID_OFF
+    assert result.packets == EXPECTED_PACKETS
+    emit(result.summary())
 
 
 def test_hotpath_json_artifact_is_readable():

@@ -75,7 +75,12 @@ class ExactMatchCache(Generic[V]):
         #: Lookup statistics.
         self.hits = 0
         self.misses = 0
+        #: Entries displaced by a *full* cache (capacity pressure).
         self.evictions = 0
+        #: Entries reclaimed because they sat idle past the timeout —
+        #: get()-time expiry, put()-time LRU-head reclaim, and
+        #: :meth:`expire` sweeps all count here, never as evictions.
+        self.expirations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -90,6 +95,7 @@ class ExactMatchCache(Generic[V]):
         if self.idle_timeout:
             if (now - stored_at) > self.idle_timeout:
                 del self._entries[key]
+                self.expirations += 1
                 self.misses += 1
                 return None
             self._entries[key] = (value, now)
@@ -98,13 +104,52 @@ class ExactMatchCache(Generic[V]):
         return value
 
     def put(self, key: Hashable, value: V, now: float = 0.0) -> None:
-        """Insert/refresh an entry, evicting the LRU entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        self._entries[key] = (value, now)
+        """Insert/refresh an entry, making room if the cache is full.
+
+        Room is reclaimed from the LRU head: an idle-expired head
+        counts as an expiration (the entry was dead either way — only
+        :meth:`get` used to notice, so churn workloads pinned corpses
+        at capacity and saw pure ``evictions``); a live head displaced
+        by capacity pressure counts as an eviction.
+        """
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        elif len(entries) >= self.capacity:
+            if self.idle_timeout:
+                _, (_, stored_at) = next(iter(entries.items()))
+                if (now - stored_at) > self.idle_timeout:
+                    entries.popitem(last=False)
+                    self.expirations += 1
+                else:
+                    entries.popitem(last=False)
+                    self.evictions += 1
+            else:
+                entries.popitem(last=False)
+                self.evictions += 1
+        entries[key] = (value, now)
+
+    def expire(self, now: float) -> int:
+        """Sweep every idle-expired entry out; returns the count.
+
+        Entries are LRU-ordered by last touch and the stored timestamp
+        only grows toward the MRU end, so the sweep walks from the LRU
+        head and stops at the first live entry — O(expired), not
+        O(capacity).
+        """
+        if not self.idle_timeout:
+            return 0
+        entries = self._entries
+        timeout = self.idle_timeout
+        reclaimed = 0
+        while entries:
+            _, (_, stored_at) = next(iter(entries.items()))
+            if (now - stored_at) <= timeout:
+                break
+            entries.popitem(last=False)
+            reclaimed += 1
+        self.expirations += reclaimed
+        return reclaimed
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; True if it existed. Policy changes call

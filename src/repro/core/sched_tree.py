@@ -236,6 +236,23 @@ class ClassNode:
         if now > self.last_seen:
             self.last_seen = now
 
+    def is_quiescent_at(self, t: float) -> bool:
+        """The fluid lane's quiescence flag: judged with current state,
+        a scheduling walk touching this class at time *t* is provably
+        skip-only — nobody holds the update flag, no update can become
+        due by *t* (``last_update`` only grows), and the class stays
+        active through *t* under its current ``last_seen``. The same
+        three conditions gate the fast handler's wakeup elision
+        (:meth:`FlowValveNicApp.handle_fast`); here they also certify
+        that the class's buckets evolve in closed form until *t*.
+        """
+        if self.updating:
+            return False
+        params = self.params
+        if t - self.last_update >= params.update_interval:
+            return False
+        return (t - self.last_seen) <= params.expire_after
+
     # ------------------------------------------------------------------
     # the update subprocedure (one core at a time per class)
     # ------------------------------------------------------------------

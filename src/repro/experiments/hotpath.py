@@ -49,12 +49,16 @@ SEED_PACKETS = 179_154
 SEED_PKT_PER_SEC = 17_500.0
 
 
-def build(setup: Optional[ScaledSetup] = None) -> Tuple[Simulator, NicPipeline]:
+def build(
+    setup: Optional[ScaledSetup] = None, *, fluid: Optional[bool] = None
+) -> Tuple[Simulator, NicPipeline]:
     """Assemble the Fig. 11(a) motivation workload on the DES pipeline.
 
     Construction order (senders sorted by app name, one rng stream per
     app) is part of the measured contract: the bench asserts exact
-    event counts for the default seed.
+    event counts for the default seed. *fluid* overrides the NIC
+    config's fluid-lane flag (None keeps the config default) — the
+    equivalence suite and the CI smoke run both lanes on this builder.
     """
     setup = setup if setup is not None else DEFAULT_SETUP
     policy = motivation_policy(setup.link_bps)
@@ -64,8 +68,9 @@ def build(setup: Optional[ScaledSetup] = None) -> Tuple[Simulator, NicPipeline]:
         policy, link_rate_bps=setup.link_bps, params=setup.sched_params()
     )
     sink = PacketSink(sim, rate_window=1.0, record_delays=False)
+    overrides = {} if fluid is None else {"fluid": fluid}
     nic = NicPipeline.with_flowvalve(
-        sim, setup.nic_config(), frontend, receiver=sink.receive
+        sim, setup.nic_config(**overrides), frontend, receiver=sink.receive
     )
     factory = PacketFactory()
     for index, (app, demand) in enumerate(sorted(demands.items())):
@@ -88,10 +93,11 @@ def run(
     setup: Optional[ScaledSetup] = None,
     *,
     duration: float = 20.0,
+    fluid: Optional[bool] = None,
 ) -> HotpathResult:
     """Measure events/sec and packets/sec of the reference workload."""
     setup = setup if setup is not None else DEFAULT_SETUP
-    sim, nic = build(setup)
+    sim, nic = build(setup, fluid=fluid)
     return measure_run(
         sim,
         lambda: sim.run(until=duration),

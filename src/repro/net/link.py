@@ -83,13 +83,19 @@ class Link:
         """True while a frame is currently being serialised."""
         return self._busy_until > self.sim.now
 
-    def send(self, packet: Packet) -> float:
+    def send(self, packet: Packet, now: Optional[float] = None) -> float:
         """Serialise *packet* and schedule its delivery.
 
         Returns the absolute time serialisation will finish. Frames
         queue behind any in-flight frame, preserving FIFO order.
+        *now* overrides the simulator clock for callers replaying
+        deferred work at its original (virtual) timestamp — the fluid
+        lane sends at the packet's true completion time even though the
+        wall clock has already moved past it.
         """
-        start = max(self.sim.now, self._busy_until)
+        if now is None:
+            now = self.sim._now
+        start = max(now, self._busy_until)
         finish = start + self.serialization_time(packet)
         self._busy_until = finish
         packet.tx_start = start
@@ -102,17 +108,18 @@ class Link:
             self.sim.schedule_at(finish + self.propagation_delay, self._deliver, packet)
         return finish
 
-    def send_batch(self, packets) -> list:
+    def send_batch(self, packets, now: Optional[float] = None) -> list:
         """Serialise a burst back-to-back; returns each finish time.
 
         Arithmetic and delivery order are identical to calling
         :meth:`send` once per frame; the delivery events are inserted
         through the event queue's batched push instead of one
-        ``schedule_at`` per frame.
+        ``schedule_at`` per frame. *now* as in :meth:`send`.
         """
         sim = self.sim
         busy = self._busy_until
-        now = sim._now
+        if now is None:
+            now = sim._now
         if busy < now:
             busy = now
         prop = self.propagation_delay
@@ -143,10 +150,30 @@ class Link:
             self.receiver(packet)
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of *elapsed* seconds the wire spent serialising."""
+        """Fraction of ``[0, elapsed]`` the wire spent serialising.
+
+        The byte/frame counters are bumped at *schedule* time (batched
+        egress computes a whole backlog's serialisation windows the
+        moment frames are accepted), so mid-run the implied wire time
+        can include serialisation that finishes after *elapsed*. That
+        committed backlog is contiguous — each queued frame starts
+        exactly when its predecessor finishes — so the part falling
+        outside the window is exactly ``busy_until - elapsed`` and is
+        subtracted rather than hidden behind a ``min(1.0, ...)`` clamp.
+        Once ``elapsed >= busy_until`` the correction vanishes and the
+        value matches the historical post-run formula exactly.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, (self.bytes_sent and self._wire_time()) / elapsed)
+        if self.frames_sent == 0:
+            return 0.0
+        wire = self._wire_time()
+        overhang = self._busy_until - elapsed
+        if overhang > 0.0:
+            wire -= overhang
+            if wire <= 0.0:
+                return 0.0
+        return min(1.0, wire / elapsed)
 
     def _wire_time(self) -> float:
         # Total serialisation time implied by the byte/frame counters.

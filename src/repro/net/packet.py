@@ -41,6 +41,11 @@ class DropReason(enum.Enum):
     #: Policer/shaper drop inside a baseline scheduler.
     POLICER = "policer"
 
+    # Members are singletons and Enum equality is identity, so the
+    # identity hash is consistent — and C-speed, unlike Enum.__hash__,
+    # which is a Python-level call on every per-drop counter update.
+    __hash__ = object.__hash__
+
 
 class Packet:
     """One L2 frame plus simulation metadata.

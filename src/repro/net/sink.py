@@ -123,12 +123,21 @@ class PacketSink:
         if self.on_delivery is not None:
             self.on_delivery(packet)
 
-    def _fold(self) -> None:
-        """Account every pending lazy delivery that has matured."""
+    def _fold(self, until: Optional[float] = None) -> None:
+        """Account every pending lazy delivery with time <= *until*.
+
+        ``until=None`` folds up to the simulator clock (the matured
+        set). An explicit later bound additionally folds deliveries
+        whose wire schedule is already committed but whose instant lies
+        past a stale ``sim.now`` — the window-accounting contract of
+        :meth:`throughput_bps`.
+        """
         pending = self._pending
         if not pending:
             return
         now = self.sim._now
+        if until is not None and until > now:
+            now = until
         account = self._account
         while pending and pending[0][0] <= now:
             time, packet = pending.popleft()
@@ -179,13 +188,22 @@ class PacketSink:
         return self._total_bytes
 
     def throughput_bps(self, app: str, elapsed: float) -> float:
-        """Average delivered rate for *app* over *elapsed* seconds."""
+        """Average delivered rate for *app* over ``[0, elapsed]``.
+
+        Folds lazy deliveries up to *elapsed* explicitly: called with a
+        stale ``sim.now`` (a paused run, a bound past the clock), every
+        delivery already committed to the wire inside the window is
+        counted — the eventful route's value at *elapsed* — instead of
+        silently stopping at whatever had matured.
+        """
         if elapsed <= 0:
             return 0.0
-        return self.bytes[app] * 8 / elapsed
+        self._fold(until=elapsed)
+        return self._bytes[app] * 8 / elapsed
 
     def total_throughput_bps(self, elapsed: float) -> float:
-        """Average delivered rate across all apps."""
+        """Average delivered rate across all apps over ``[0, elapsed]``."""
         if elapsed <= 0:
             return 0.0
-        return self.total_bytes * 8 / elapsed
+        self._fold(until=elapsed)
+        return self._total_bytes * 8 / elapsed

@@ -106,6 +106,16 @@ class NicConfig:
     #: 0 forces per-packet ingress. Observable behaviour is identical
     #: either way.
     ingress_burst: int = 64
+    #: Allow the fluid fast-forward lane (DESIGN.md §7): packets of
+    #: quiescent flows — cache-hit label, no update due on the path,
+    #: no competing update in flight — are carried to their scheduling
+    #: decision analytically through a deferred micro-queue instead of
+    #: a worker wakeup chain, materialising zero kernel events until a
+    #: boundary (update epoch, cache churn, run horizon) trips the
+    #: detector. Bit-identical to the per-packet path; auto-disabled
+    #: with tracing/metrics, the slow path, drop callbacks, or an
+    #: eventful sink. Set False to force per-packet processing.
+    fluid: bool = True
     #: Per-operation cycle budgets.
     costs: CycleCosts = field(default_factory=CycleCosts)
     #: Memory hierarchy (documentation + latency-hiding math).

@@ -19,9 +19,10 @@ from typing import Callable, List, Optional
 
 from ..core.scheduling import Verdict
 from ..net.link import Link
-from ..net.packet import DropReason, Packet
+from ..net.packet import DropReason, Packet, PacketFactory
 from ..net.sink import PacketSink
 from ..sim import Simulator, Store
+from ..sim.events import EventRun
 from .apps import FlowValveNicApp, NicApp
 from .buffer_pool import BufferPool
 from .config import NicConfig
@@ -44,9 +45,14 @@ class _IngressBurst:
     emission strictly after it.
     """
 
-    __slots__ = ("times", "cutoff", "done", "seen")
+    __slots__ = (
+        "times", "cutoff", "done", "seen",
+        "make", "size", "flow", "app", "vf_index", "conn_id", "n", "factory",
+    )
 
-    def __init__(self, times: List[float]):
+    def __init__(
+        self, times: List[float], make, size, flow, app, vf_index, conn_id
+    ):
         #: Ascending emission instants of this train.
         self.times = times
         #: Emissions strictly after this instant are retired (TCP
@@ -56,6 +62,27 @@ class _IngressBurst:
         self.done = 0
         #: Run items executed, including retired ones.
         self.seen = 0
+        # Per-train constants of every arrival item, carried here so a
+        # run item is just ``(rec, t_emit)`` — the arrival callback is
+        # the hottest argument unpack in the simulator.
+        self.make = make
+        self.size = size
+        self.flow = flow
+        self.app = app
+        self.vf_index = vf_index
+        self.conn_id = conn_id
+        self.n = len(times)
+        #: The plain PacketFactory behind ``make``, or None when the
+        #: maker is custom — lets the fluid lane mint packets without
+        #: the two call frames (resolved once per train, not per item).
+        maker = getattr(make, "__self__", None)
+        self.factory = (
+            maker
+            if maker is not None
+            and maker.__class__ is PacketFactory
+            and getattr(make, "__func__", None) is PacketFactory.make
+            else None
+        )
 
     def count_at(self, now: float) -> int:
         """Valid emissions with instant <= min(now, cutoff)."""
@@ -180,8 +207,33 @@ class NicPipeline:
         fast_handle = app.fast_handler() if fast else None
         self._fast_handle = fast_handle
         self._arrive_dma = self._arrive_fast if fast else self._arrive
+        #: Virtual-clock override for deferred drops (the fluid lane
+        #: replays completions at their original timestamps); read by
+        #: :meth:`_drop`'s lazy buffer-return branch. None = wall clock.
+        self._drop_now_override = None
         worker = self._worker_fast if fast_handle is not None else self._worker
         self._workers = [sim.process(worker(i)) for i in range(config.n_workers)]
+        # The fluid fast-forward lane (DESIGN.md §7) engages only when
+        # every observation channel it bypasses is already lazy or
+        # absent: the FlowValve trylock fast handler (whose elided
+        # branch it replays analytically), lazy sink deliveries, and no
+        # per-drop callback. Anything else falls back to the per-packet
+        # fast path, which is the reference it must match bit for bit.
+        self._fluid = None
+        #: Shared ingress run merging every sender's burst train while
+        #: the fluid lane is on (see :meth:`submit_burst`).
+        self._ingress_run = None
+        if (
+            config.fluid
+            and fast
+            and getattr(fast_handle, "__func__", None) is FlowValveNicApp.handle_fast
+            and self.link._lazy_sink is not None
+            and on_drop is None
+        ):
+            from .fluid import FluidLane
+
+            self._fluid = FluidLane(self)
+            self._arrive_dma = self._fluid.arrival
 
     # ------------------------------------------------------------------
     @classmethod
@@ -226,6 +278,14 @@ class NicPipeline:
         """
         self._submitted += 1
         packet.nic_arrival = self.sim._now  # hot path: skip the property
+        fluid = self._fluid
+        if fluid is not None:
+            # Deferred fluid completions release buffers lazily; their
+            # matured release_at entries must exist before this
+            # admission decision reads the pool.
+            micro = fluid._micro
+            if micro and micro[0][0] <= self.sim._now:
+                fluid._flush(self.sim._now)
         if not self.buffers.try_allocate():
             self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
             return False
@@ -258,32 +318,55 @@ class NicPipeline:
         uses it for lazy sent-packet counting and (TCP) to retire the
         unsent tail of the train on congestion feedback via ``cutoff``.
         """
-        rec = _IngressBurst(times)
+        rec = _IngressBurst(times, make, packet_size, flow, app, vf_index, conn_id)
         self._ingress_bursts.append(rec)
         latency = self.config.rx_dma_latency
-        arrive = self._burst_arrival
-        self.sim._queue.push_run(
-            [
-                (t + latency, arrive, (rec, t, make, packet_size, flow, app, vf_index, conn_id))
-                for t in times
-            ]
-        )
+        fluid = self._fluid
+        # With the lane on, the whole arrival chain runs in one fused
+        # frame (flush + admission + absorb) — see FluidLane.
+        arrive = self._burst_arrival if fluid is None else fluid.burst_arrival
+        entries = [(t + latency, arrive, (rec, t)) for t in times]
+        if self._fluid is not None:
+            # Fluid lane on: merge every sender's train into ONE shared
+            # run so concurrent senders stop shredding each other's
+            # trains into per-item drain segments (item (time, seq)
+            # order — and hence behavior — is unchanged; only the
+            # executed-event count drops). Off, each burst keeps its
+            # own run so the fallback reproduces the PR 5 counts
+            # exactly.
+            run = self._ingress_run
+            if run is None or run.cancelled:
+                run = self._ingress_run = EventRun()
+            self.sim._queue.merge_run(run, entries)
+        else:
+            self.sim._queue.push_run(entries)
         return rec
 
-    def _burst_arrival(
-        self, rec: _IngressBurst, t_emit: float, make, size, flow, app, vf_index, conn_id
-    ) -> None:
+    def _burst_arrival(self, rec: _IngressBurst, t_emit: float) -> None:
+        fluid = self._fluid
+        if fluid is not None:
+            # As in submit(): matured fluid buffer returns must land in
+            # the pool before try_allocate_asof(t_emit) below.
+            micro = fluid._micro
+            if micro and micro[0][0] <= self.sim._now:
+                fluid._flush(self.sim._now)
         rec.seen += 1
-        if rec.seen == len(rec.times):
+        if rec.seen == rec.n:
             self._ingress_bursts.remove(rec)
         if t_emit > rec.cutoff:
             return  # retired by congestion feedback before its instant
         rec.done += 1
         self._submitted += 1
+        conn_id = rec.conn_id
         if conn_id is None:
-            packet = make(size, flow, t_emit, app=app, vf_index=vf_index)
+            packet = rec.make(
+                rec.size, rec.flow, t_emit, app=rec.app, vf_index=rec.vf_index
+            )
         else:
-            packet = make(size, flow, t_emit, app=app, vf_index=vf_index, conn_id=conn_id)
+            packet = rec.make(
+                rec.size, rec.flow, t_emit,
+                app=rec.app, vf_index=rec.vf_index, conn_id=conn_id,
+            )
         packet.nic_arrival = t_emit
         if not self.buffers.try_allocate_asof(t_emit):
             # Same decision the per-packet route takes at t_emit; the
@@ -441,8 +524,13 @@ class NicPipeline:
         if release_buffer:
             if self.fast_path:
                 # Lazy route: same effective relink time as release()
-                # (now + recycle delay), no simulator event.
-                self.buffers.release_at(self.sim._now)
+                # (now + recycle delay), no simulator event. The fluid
+                # lane overrides the clock when replaying a deferred
+                # drop at its original completion time.
+                now = self._drop_now_override
+                if now is None:
+                    now = self.sim._now
+                self.buffers.release_at(now)
             else:
                 self.buffers.release()
         if self.on_drop is not None:

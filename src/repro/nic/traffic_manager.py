@@ -69,6 +69,10 @@ class TrafficManager:
         # so `frames_out` reads identically in both modes at any
         # timestamp — including a run horizon that cuts mid-queue.
         self._frames_out = 0
+        #: Virtual-clock override for deferred egress (the fluid lane
+        #: replays completions at their original timestamps after the
+        #: wall clock has passed them). None = use the simulator clock.
+        self._now_override = None
         tracer = sim.tracer
         self._trace = tracer if tracer.enabled else None
         if sim.metrics.enabled:
@@ -106,8 +110,9 @@ class TrafficManager:
     def offer(self, packet: Packet) -> bool:
         """Accept one frame for egress; False (drop-marked) when the
         ring is full. Serialisation is computed immediately."""
-        sim = self.sim
-        now = sim._now
+        now = self._now_override
+        if now is None:
+            now = self.sim._now
         ring = self.tx_ring
         if not ring.virtual_accept(now):
             packet.mark_dropped(DropReason.QUEUE_FULL)
@@ -115,7 +120,7 @@ class TrafficManager:
         self._frames_out += 1
         link = self.link
         start = link._busy_until
-        finish = link.send(packet)
+        finish = link.send(packet, now)
         if start > now:
             ring.virtual_push(start)
         if self.on_sent_at is not None:
@@ -132,8 +137,9 @@ class TrafficManager:
         (:meth:`Link.send_batch`). Rejected frames come back
         drop-marked for the pipeline to tally.
         """
-        sim = self.sim
-        now = sim._now
+        now = self._now_override
+        if now is None:
+            now = self.sim._now
         ring = self.tx_ring
         link = self.link
         busy = link._busy_until
@@ -154,7 +160,7 @@ class TrafficManager:
             accepted.append(packet)
         if accepted:
             self._frames_out += len(accepted)
-            finishes = link.send_batch(accepted)
+            finishes = link.send_batch(accepted, now)
             if self.on_sent_at is not None:
                 on_sent_at = self.on_sent_at
                 for packet, finish in zip(accepted, finishes):

@@ -73,7 +73,7 @@ class EventRun:
     O(1)); individual items cannot be cancelled separately.
     """
 
-    __slots__ = ("_items", "cancelled", "_queued", "_executing")
+    __slots__ = ("_items", "cancelled", "_queued", "_executing", "_key")
 
     def __init__(self) -> None:
         #: (time, seq, fn, args) tuples, non-decreasing in (time, seq).
@@ -83,6 +83,12 @@ class EventRun:
         self._queued = False
         #: True while the event loop is draining items from this run.
         self._executing = False
+        #: The (time, seq) key of the run's *live* heap entry.
+        #: :meth:`EventQueue.merge_run` can move the head earlier than
+        #: the queued key; it then pushes a fresh entry and the old one
+        #: goes stale — consumers skip any popped run entry whose key
+        #: does not match this slot.
+        self._key: Optional[Tuple[float, int]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -237,6 +243,66 @@ class EventQueue:
             head = items[0]
             heapq.heappush(self._heap, (head[0], head[1], run))
             run._queued = True
+            run._key = (head[0], head[1])
+
+    def merge_run(
+        self,
+        run: EventRun,
+        entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
+    ) -> None:
+        """Merge time-sorted *entries* into *run*, re-keying its heap
+        entry if the head moves earlier.
+
+        Unlike :meth:`extend_run`, the new entries may interleave with
+        — or precede — the run's pending items: the two sorted
+        sequences are merged in place by ``(time, seq)``. Each new item
+        still draws its seq from the shared counter *now*, so the
+        combined execution order (including equal-time tie-breaks
+        against other lanes) is exactly what individual :meth:`push`
+        calls issued at this moment would give; merging only changes
+        how many heap slots and drain segments the items cost. When the
+        merged head is earlier than the queued key, a fresh heap entry
+        is pushed and the old one goes stale — the event loop and
+        :meth:`pop` detect staleness via ``run._key`` and discard it.
+        """
+        if run.cancelled:
+            raise SimulationError("cannot merge into a cancelled EventRun")
+        counter = self._counter
+        items = run._items
+        last = None
+        new: List[Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]] = []
+        for time, fn, args in entries:
+            if last is not None and time < last:
+                raise SimulationError(
+                    f"EventRun entries must be time-sorted ({time} < {last})"
+                )
+            last = time
+            new.append((time, next(counter), fn, args))
+        if not new:
+            return
+        self._live += len(new)
+        if not items or items[-1][0] <= new[0][0]:
+            # Pure append: every pending item fires no later than the
+            # first new one (new seqs are larger, so an equal-time tail
+            # still precedes the new head).
+            items.extend(new)
+        else:
+            # In-place sorted merge — the event loop may hold a
+            # reference to this deque, so never rebind ``_items``.
+            merged = list(heapq.merge(list(items), new))
+            items.clear()
+            items.extend(merged)
+        if run._executing:
+            return  # the drain loop re-arms with the merged head
+        head = items[0]
+        key = (head[0], head[1])
+        if not run._queued:
+            heapq.heappush(self._heap, (key[0], key[1], run))
+            run._queued = True
+            run._key = key
+        elif key != run._key:
+            heapq.heappush(self._heap, (key[0], key[1], run))
+            run._key = key
 
     def _discard_run(self, run: EventRun) -> None:
         """Drop all pending items of a cancelled run (already un-heaped)."""
@@ -275,6 +341,8 @@ class EventQueue:
             cls = payload.__class__
             if cls is not Event:
                 if cls is EventRun:
+                    if (time, seq) != payload._key:
+                        continue  # stale entry left behind by merge_run
                     if payload.cancelled:
                         self._discard_run(payload)
                         continue
@@ -286,6 +354,7 @@ class EventQueue:
                         head = items[0]
                         heapq.heappush(heap, (head[0], head[1], payload))
                         payload._queued = True
+                        payload._key = (head[0], head[1])
                     return Event(t, s, fn, args)
                 # Resume-lane entry: wrap it so pop()'s contract holds
                 # (only the cold step() path pays this allocation).
@@ -300,11 +369,14 @@ class EventQueue:
         """Timestamp of the next live event, or ``None`` when empty."""
         heap = self._heap
         while heap:
-            payload = heap[0][2]
+            top = heap[0]
+            payload = top[2]
             cls = payload.__class__
             if cls is Event and payload.cancelled:
                 heapq.heappop(heap)
                 self._live -= 1
+            elif cls is EventRun and (top[0], top[1]) != payload._key:
+                heapq.heappop(heap)  # stale entry left behind by merge_run
             elif cls is EventRun and payload.cancelled:
                 heapq.heappop(heap)
                 self._discard_run(payload)

@@ -64,6 +64,12 @@ class Simulator:
         #: `run(until=None)` ends at the same final time an eventful run
         #: would (see PacketSink lazy accounting).
         self._drain_hooks: list = []
+        #: End hooks: callables invoked once per run(), after the final
+        #: clock is settled (including the advance-to-`until` clamp).
+        #: Lazy fast paths register flushes here so deferred work with
+        #: no kernel event of its own (the NIC fluid lane's micro-queue)
+        #: is applied before run() returns and observers look at state.
+        self._end_hooks: list = []
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -131,6 +137,16 @@ class Simulator:
         reported time when the queue drains.
         """
         self._drain_hooks.append(fn)
+
+    def add_end_hook(self, fn: Callable[[], None]) -> None:
+        """Register a callable invoked when each :meth:`run` finishes.
+
+        Hooks run after the final clock is settled (the last event, the
+        drain-hook advance, or the ``until`` clamp) and before ``run``
+        returns — the point where deferred-but-determined work must be
+        materialised so post-run observers see a consistent world.
+        """
+        self._end_hooks.append(fn)
 
     # ------------------------------------------------------------------
     # the loop
@@ -213,6 +229,9 @@ class Simulator:
                         # Run-lane entry: drain the train in place while
                         # its head still beats the heap top and the
                         # zero-delay FIFO, then re-key the remainder.
+                        if (top[0], top[1]) != payload._key:
+                            heappop(heap)  # stale key from merge_run
+                            continue
                         if payload.cancelled:
                             heappop(heap)
                             queue._discard_run(payload)
@@ -254,6 +273,7 @@ class Simulator:
                             head = items[0]
                             heapq.heappush(heap, (head[0], head[1], payload))
                             payload._queued = True
+                            payload._key = (head[0], head[1])
                         continue
                     # Resume-lane entry (bare process-resume callable).
                     if top[0] > horizon:
@@ -277,6 +297,8 @@ class Simulator:
                 payload.fn(*payload.args)
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
+            for hook in self._end_hooks:
+                hook()
         finally:
             self._running = False
             self.events_executed += executed

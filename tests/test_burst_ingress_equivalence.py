@@ -17,7 +17,10 @@ unaffected by the knob.
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
+
+import pytest
 
 from repro.core.frontend import FlowValveFrontend
 from repro.core.sched_tree import SchedulingParams
@@ -220,6 +223,181 @@ class TestLazySinkUnderBurst:
         del burst["events"], plain["events"]
         assert burst == plain
         assert burst["delivered"] > 0
+
+
+class TestVectorizedTrains:
+    """numpy-vs-scalar train precompute bit-identity (jitterless only).
+
+    ``FixedRateSender`` vectorizes jitterless emission instants with
+    ``np.add.accumulate``, which performs the same left-to-right float
+    adds as the scalar loop — so the instants, the train boundaries,
+    and the resume time must be bit-identical, not approximately equal.
+    Jittered senders draw RNG per gap and always take the scalar loop.
+    """
+
+    def _run(self, use_numpy: bool, duration: float = 2.0) -> dict:
+        import repro.host.traffic as traffic_mod
+
+        if use_numpy and traffic_mod._np is None:
+            pytest.skip("numpy not available")
+        saved = traffic_mod._np
+        traffic_mod._np = saved if use_numpy else None
+        try:
+            setup = ScaledSetup(nominal_link_bps=10e9, scale=2000.0, wire_bps=10e9)
+            sim = Simulator(seed=setup.seed)
+            frontend = FlowValveFrontend(
+                motivation_policy(setup.link_bps),
+                link_rate_bps=setup.link_bps,
+                params=setup.sched_params(),
+            )
+            sink = PacketSink(sim, rate_window=1.0, record_delays=True)
+            nic = NicPipeline.with_flowvalve(
+                sim, replace(setup.nic_config(), ingress_burst=64),
+                frontend, receiver=sink.receive,
+            )
+            factory = PacketFactory()
+            senders = []
+            for index, (app, demand) in enumerate(
+                sorted(motivation_demands(setup.nominal_link_bps).items())
+            ):
+                senders.append(FixedRateSender(
+                    sim, app, factory, nic.submit,
+                    rate_bps=setup.sender_rate(), packet_size=1500,
+                    demand=_scale_demand(demand, setup.scale),
+                    vf_index=index, jitter=0.0,
+                ))
+            final = sim.run(until=duration)
+            return {
+                "final": final,
+                "submitted": nic.submitted,
+                "forwarded": nic.forwarded,
+                "dropped": nic.dropped,
+                "delivered": sink.total_packets,
+                "bytes_by_app": dict(sink.bytes),
+                "delays": sink.delays,
+                "sent": [s.sent_packets for s in senders],
+                "events": sim.events_executed,
+            }
+        finally:
+            traffic_mod._np = saved
+
+    def test_jitterless_trains_bit_identical(self):
+        assert self._run(use_numpy=True) == self._run(use_numpy=False)
+
+
+class TestFluidLaneEquivalence:
+    """fluid=True vs fluid=False bit-identity on randomized workloads.
+
+    The fluid fast-forward lane (DESIGN.md §7) absorbs quiescent-flow
+    packets into an analytic micro-queue and replays the FlowValve fast
+    handler's elided branch float-for-float at the same virtual
+    timestamps. The contract is the same as burst-vs-per-packet above:
+    every observable — forwards, drop reasons, per-app bytes, one-way
+    delay samples, scheduler/borrow stats, RNG phase — is bit-identical
+    with strictly fewer kernel events. The lane only engages with a
+    lazy sink and no drop callback, so these runs deliver straight into
+    the sink and read drop reasons off the pipeline counters.
+
+    Workloads are randomized per seed: demand windows, sender rates,
+    packet sizes, and jitter are drawn from a seeded generator so the
+    sweep crosses quiescent stretches, update epochs, RED drops, and
+    borrow traffic without hand-tuning each case.
+    """
+
+    def _run(self, seed: int, fluid: bool, duration: float = 3.0) -> dict:
+        wl = random.Random(seed)
+        setup = ScaledSetup(nominal_link_bps=10e9, scale=2000.0, wire_bps=10e9)
+        sim = Simulator(seed=setup.seed)
+        frontend = FlowValveFrontend(
+            motivation_policy(setup.link_bps),
+            link_rate_bps=setup.link_bps,
+            params=setup.sched_params(),
+        )
+        sink = PacketSink(sim, rate_window=1.0, record_delays=True)
+        config = replace(setup.nic_config(), ingress_burst=64, fluid=fluid)
+        nic = NicPipeline.with_flowvalve(
+            sim, config, frontend, receiver=sink.receive,
+        )
+        assert (nic._fluid is not None) == fluid
+        factory = PacketFactory()
+        senders = []
+        for index, (app, demand) in enumerate(
+            sorted(motivation_demands(setup.nominal_link_bps).items())
+        ):
+            # Randomize the pressure point per sender: rate multiplier
+            # pushes some classes into RED/borrow territory, jitter=0
+            # on some senders exercises the vectorized train path under
+            # the lane, and an extra demand window adds off/on edges.
+            rate = setup.sender_rate() * wl.choice([0.6, 1.0, 1.7, 2.5])
+            jitter = wl.choice([0.0, 0.05, 0.1])
+            size = wl.choice([256, 1024, 1500])
+            if wl.random() < 0.5:
+                gap0 = round(wl.uniform(0.2, 0.8) * duration, 4)
+                gap1 = round(wl.uniform(gap0, duration), 4)
+                demand = windows(
+                    (0.0, gap0, rate), (gap1, duration, rate)
+                )
+            else:
+                demand = _scale_demand(demand, setup.scale)
+            senders.append(FixedRateSender(
+                sim, app, factory, nic.submit,
+                rate_bps=rate, packet_size=size, demand=demand,
+                vf_index=index, jitter=jitter,
+                rng=sim.random.stream(app),
+            ))
+        final = sim.run(until=duration)
+        stats = nic.app.scheduler.stats
+        return {
+            "final": final,
+            "submitted": nic.submitted,
+            "forwarded": nic.forwarded,
+            "dropped": nic.dropped,
+            "drops_by_reason": {r.value: n for r, n in nic.drops_by_reason.items()},
+            "delivered": sink.total_packets,
+            "bytes_by_app": dict(sink.bytes),
+            "delays": sink.delays,
+            "delays_by_app": {a: list(v) for a, v in sink.delays_by_app.items()},
+            "sent_by_sender": [s.sent_packets for s in senders],
+            "frames_out": nic.traffic_manager.frames_out,
+            "tx_tail_drops": nic.tx_ring.tail_drops,
+            "buffer_exhaustion_drops": nic.buffers.exhaustion_drops,
+            "link_bytes": nic.link.bytes_sent,
+            "link_busy_until": nic.link._busy_until,
+            "sched_decisions": stats.decisions,
+            "sched_forwarded": stats.forwarded,
+            "sched_dropped": stats.dropped,
+            "sched_own": stats.forwarded_on_own_tokens,
+            "sched_borrowed": stats.forwarded_on_borrowed_tokens,
+            "borrow_matrix": sorted(stats.borrow_matrix.items()),
+            "sched_updates_run": stats.updates_run,
+            "sched_updates_skipped": stats.updates_skipped,
+            "emc_hits": nic.app.labeler.cache.hits,
+            "emc_misses": nic.app.labeler.cache.misses,
+            "next_jitter_draw": {
+                s.name: sim.random.stream(s.name).random() for s in senders
+            },
+            "events": sim.events_executed,
+        }
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_randomized_workloads_bit_identical(self, seed):
+        on = self._run(seed, fluid=True)
+        off = self._run(seed, fluid=False)
+        # The lane must actually absorb work (fewer kernel events) ...
+        assert on["events"] < off["events"]
+        del on["events"], off["events"]
+        # ... while every observable matches exactly, float for float.
+        assert on == off
+        assert on["delivered"] > 0
+
+    def test_sweep_covers_drops_and_borrowing(self):
+        # The per-seed assertion is vacuous for a pressure dimension no
+        # seed reaches; check the randomized sweep as a whole exercises
+        # RED drops and inter-class borrowing under the fluid lane.
+        runs = [self._run(seed, fluid=True) for seed in (1, 2, 3, 4, 5)]
+        assert any(r["drops_by_reason"].get("sched_red", 0) > 0 for r in runs)
+        assert any(r["sched_borrowed"] > 0 for r in runs)
+        assert any(r["dropped"] > 0 for r in runs)
 
 
 class TestTcpIgnoresBurstPipe:

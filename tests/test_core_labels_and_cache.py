@@ -103,6 +103,95 @@ class TestExactMatchCache:
         assert cache.hit_ratio == pytest.approx(0.5)
 
 
+class TestExactMatchCacheExpiry:
+    """Idle-expiry accounting: get()-time, put()-time, and sweeps.
+
+    The bug this guards against: only get() noticed idle corpses, so a
+    churn workload (new flows displacing dead ones) pinned the cache at
+    capacity and booked every displacement as an *eviction* — capacity
+    pressure that wasn't real — while ``expirations`` stayed 0.
+    """
+
+    def test_get_expiry_counts_expiration(self):
+        cache = ExactMatchCache(capacity=4, idle_timeout=1.0)
+        cache.put("k", "v", now=0.0)
+        assert cache.get("k", now=2.0) is None
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+        assert cache.misses == 1
+
+    def test_put_reclaims_expired_lru_head_as_expiration(self):
+        cache = ExactMatchCache(capacity=2, idle_timeout=1.0)
+        cache.put("dead", 1, now=0.0)
+        cache.put("live", 2, now=1.5)
+        # Full cache, LRU head idle-dead: the insert reclaims it as an
+        # expiration, not an eviction.
+        cache.put("new", 3, now=2.0)
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+        assert cache.get("dead", now=2.0) is None
+        assert cache.get("live", now=2.0) == 2
+        assert cache.get("new", now=2.0) == 3
+
+    def test_put_displacing_live_head_is_still_eviction(self):
+        cache = ExactMatchCache(capacity=2, idle_timeout=10.0)
+        cache.put("a", 1, now=0.0)
+        cache.put("b", 2, now=0.1)
+        cache.put("c", 3, now=0.2)  # all live: capacity pressure
+        assert cache.evictions == 1
+        assert cache.expirations == 0
+
+    def test_put_without_timeout_never_expires(self):
+        cache = ExactMatchCache(capacity=1)
+        cache.put("a", 1, now=0.0)
+        cache.put("b", 2, now=100.0)
+        assert cache.evictions == 1
+        assert cache.expirations == 0
+
+    def test_expire_sweep_reclaims_only_idle_entries(self):
+        cache = ExactMatchCache(capacity=8, idle_timeout=1.0)
+        for i in range(4):
+            cache.put(f"old{i}", i, now=0.0)
+        for i in range(3):
+            cache.put(f"new{i}", i, now=5.0)
+        assert cache.expire(now=5.5) == 4
+        assert cache.expirations == 4
+        assert len(cache) == 3
+        assert cache.get("new0", now=5.5) == 0
+
+    def test_expire_sweep_disabled_without_timeout(self):
+        cache = ExactMatchCache(capacity=4)
+        cache.put("k", "v", now=0.0)
+        assert cache.expire(now=1e9) == 0
+        assert len(cache) == 1
+
+    def test_refresh_on_hit_keeps_entry_alive_across_sweep(self):
+        cache = ExactMatchCache(capacity=4, idle_timeout=1.0)
+        cache.put("k", "v", now=0.0)
+        assert cache.get("k", now=0.9) == "v"  # refresh stamps now=0.9
+        assert cache.expire(now=1.5) == 0
+        assert cache.get("k", now=1.5) == "v"
+
+    def test_million_entry_churn_stays_bounded_and_books_expirations(self):
+        # Scale regression for the put()-time reclaim: one million
+        # distinct flows through a small cache with an idle timeout
+        # short enough that every resident entry is dead by the time
+        # its slot is reused. Before the fix this booked 10^6 - 64
+        # evictions (phantom capacity pressure) and zero expirations.
+        capacity = 64
+        cache = ExactMatchCache(capacity=capacity, idle_timeout=1e-3)
+        n = 1_000_000
+        for i in range(n):
+            cache.put(i, i, now=i * 1.0)  # successor insert: head long dead
+        assert len(cache) == capacity
+        assert cache.expirations == n - capacity
+        assert cache.evictions == 0
+        # The sweep clears the final resident generation too.
+        assert cache.expire(now=n * 1.0 + 10.0) == capacity
+        assert len(cache) == 0
+        assert cache.expirations == n
+
+
 class TestLabelingFunction:
     def test_hierarchy_path_is_root_to_leaf(self, frontend):
         packet = PacketFactory().make(64, FiveTuple("a", "b", 1, 2), 0.0, app="A")

@@ -120,6 +120,103 @@ class TestPushRunOrdering:
             sim._queue.extend_run(run, [(0.2, print, ())])
 
 
+class TestMergeRun:
+    """``EventQueue.merge_run``: sorted merge + stale-key re-keying.
+
+    Merging lets every sender share ONE run (the fluid-lane ingress
+    path): new entries may interleave with or precede the pending
+    items. When the merged head moves earlier than the queued heap key,
+    a fresh heap entry is pushed and the old one goes *stale*; the
+    event loop and ``peek_time`` must skip any popped run entry whose
+    ``(time, seq)`` key no longer matches ``run._key``.
+    """
+
+    def test_merge_interleaves_by_time(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.1, log.append, (0.1,)), (0.3, log.append, (0.3,))])
+        sim._queue.merge_run(run, [(0.2, log.append, (0.2,)), (0.4, log.append, (0.4,))])
+        sim.run()
+        assert log == [0.1, 0.2, 0.3, 0.4]
+
+    def test_merge_head_earlier_rekeys_and_stale_entry_skipped(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.5, log.append, ("late",))])
+        old_key = run._key
+        sim._queue.merge_run(run, [(0.1, log.append, ("early",))])
+        assert run._key != old_key
+        assert run.next_time == 0.1
+        # Both heap entries exist; the stale one must be discarded, not
+        # double-fire the run.
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_stale_entry_invisible_to_peek_time(self):
+        sim = Simulator()
+        run = sim._queue.push_run([(0.5, print, ())])
+        sim._queue.merge_run(run, [(0.1, print, ())])
+        assert sim._queue.peek_time() == 0.1
+
+    def test_merge_equal_time_ties_follow_insertion_order(self):
+        # Merged items draw their seq at merge time: an equal-time heap
+        # push issued *between* the original train and the merge fires
+        # between them, exactly as individual pushes would.
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.1, log.append, ("train",))])
+        sim.schedule_at(0.1, log.append, "push")
+        sim._queue.merge_run(run, [(0.1, log.append, ("merged",))])
+        sim.run()
+        assert log == ["train", "push", "merged"]
+
+    def test_merge_into_drained_unqueued_run_requeues(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.1, log.append, ("first",))])
+        sim.run()
+        assert log == ["first"] and not run._queued
+        sim._queue.merge_run(run, [(0.2, log.append, ("second",))])
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_merge_while_executing_rearms_with_merged_head(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.1, None, ()), (0.5, log.append, ("tail",))])
+
+        def merge_more():
+            log.append("head")
+            sim._queue.merge_run(run, [(0.2, log.append, ("merged",))])
+
+        run._items[0] = (run._items[0][0], run._items[0][1], merge_more, ())
+        sim.run()
+        assert log == ["head", "merged", "tail"]
+
+    def test_merge_into_cancelled_run_rejected(self):
+        sim = Simulator()
+        run = sim._queue.push_run([(0.1, print, ())])
+        run.cancel()
+        with pytest.raises(SimulationError):
+            sim._queue.merge_run(run, [(0.2, print, ())])
+
+    def test_non_monotone_merge_entries_rejected(self):
+        sim = Simulator()
+        run = sim._queue.push_run([(0.1, print, ())])
+        with pytest.raises(SimulationError):
+            sim._queue.merge_run(run, [(0.3, print, ()), (0.2, print, ())])
+
+    def test_merged_items_count_one_kernel_event_per_segment(self):
+        sim = Simulator()
+        log = []
+        run = sim._queue.push_run([(0.1, log.append, (1,)), (0.2, log.append, (2,))])
+        sim._queue.merge_run(run, [(0.15, log.append, (1.5,)), (0.3, log.append, (3,))])
+        sim.run()
+        assert log == [1, 1.5, 2, 3]
+        # One contiguous drain segment: one executed kernel event.
+        assert sim.events_executed == 1
+
+
 class TestRunCancellation:
     def test_cancel_before_any_item_fires(self):
         sim = Simulator()
