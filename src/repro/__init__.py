@@ -34,6 +34,10 @@ Subpackages
 ``repro.host``
     End-host model: CPU accounting, ack-clocked AIMD TCP, workload
     generators.
+``repro.topology``
+    Declarative construction: ``Topology`` + ``SimulationSpec`` — the
+    one public way to build and run a simulation (single- or
+    multi-domain, sharded across worker processes).
 ``repro.experiments``
     The evaluation harness — one module per paper figure/table.
 """
@@ -49,8 +53,16 @@ from .core import (
 from .core.offload import compile_offload
 from .net import FiveTuple, Link, Packet, PacketFactory, PacketSink
 from .nic import NicConfig, NicPipeline
-from .sim import Simulator
+from .sched import Scheduler, build_scheduler, scheduler_names
+from .sim import ShardPlan, Simulator
 from .tc import PolicyConfig, parse_script, validate_policy
+from .topology import (
+    ScaledSetup,
+    SimulationResult,
+    DomainSummary,
+    SimulationSpec,
+    Topology,
+)
 from .units import format_rate, parse_rate
 
 __version__ = "1.0.0"
@@ -70,7 +82,16 @@ __all__ = [
     "PacketSink",
     "NicConfig",
     "NicPipeline",
+    "Scheduler",
+    "build_scheduler",
+    "scheduler_names",
+    "ShardPlan",
     "Simulator",
+    "Topology",
+    "SimulationSpec",
+    "SimulationResult",
+    "DomainSummary",
+    "ScaledSetup",
     "PolicyConfig",
     "parse_script",
     "validate_policy",

@@ -141,6 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="pifo", choices=("pifo", "eiffel"),
         help="queue backend for rank-program schedulers (default pifo)",
     )
+    simulate.add_argument(
+        "--hosts", type=int, default=1, metavar="N",
+        help="simulate a ring fabric of N identical hosts, each running "
+             "the policy against the --app demands, every NIC's wire "
+             "terminating at the next host's sink (default 1: the "
+             "classic single-NIC testbed)",
+    )
+    simulate.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the fabric over N worker processes with the "
+             "conservative-window barrier protocol; results are "
+             "byte-identical for every N (default 1: inline)",
+    )
+    simulate.add_argument(
+        "--wire-delay", type=float, default=5e-5, metavar="SECONDS",
+        help="nominal inter-host propagation delay; its scaled value is "
+             "the shard planner's lookahead (default 5e-5)",
+    )
 
     bench = sub.add_parser(
         "bench", parents=[_sim_parent(explicit=True)],
@@ -171,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.02,
         help="allowed relative events/packet increase vs --baseline "
              "(default 0.02)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="bench the sharded fabric engine on N worker processes "
+             "(an 8-host ring) instead of the single-NIC hot path; "
+             "the artifact records the shard count so the --baseline "
+             "gate only compares like with like (default 1)",
+    )
+    bench.add_argument(
+        "--hosts", type=int, default=8, metavar="N",
+        help="fabric size for --shards > 1 (default 8)",
     )
 
     campaign = sub.add_parser(
@@ -281,6 +310,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     policy = _load_policy(args.script)
     link = parse_rate(args.link)
     demands = _parse_apps(args.app)
+    if args.hosts > 1 or args.shards > 1:
+        if args.trace or args.metrics:
+            raise ReproError(
+                "--trace/--metrics are single-host, single-shard only "
+                "(one tracer per simulator; workers cannot share a file)"
+            )
+        return _cmd_simulate_fabric(args, policy, link, demands)
     if getattr(args, "scheduler", "flowvalve") != "flowvalve":
         # Crossbar schedulers run on the ScheduledPort DES runtime;
         # trace/metrics plumbing currently lives in the FlowValve NIC
@@ -337,45 +373,65 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_topology(args: argparse.Namespace, policy, demands: Dict[str, float]):
+    """The CLI's world declaration: ``--hosts`` identical domains, each
+    running *policy* against constant-rate ``--app`` demands, ring-wired
+    when there is more than one.
+
+    Demands are plain callables (no ``next_change`` attribute) — the
+    historical CLI behaviour, which keeps senders on the eventful
+    per-packet path rather than the precomputed burst path.
+    """
+    from .topology import Topology
+
+    topo = Topology()
+    hosts = args.hosts
+    for i in range(hosts):
+        topo.nic(
+            f"nic{i}", policy=policy,
+            scheduler=getattr(args, "scheduler", "flowvalve"),
+            backend=getattr(args, "backend", "pifo"),
+        )
+        topo.host(f"host{i}", nic=f"nic{i}")
+        for app in sorted(demands):
+            topo.app(f"host{i}", app, demand=(lambda t, rate=demands[app]: rate))
+        if hosts > 1:
+            topo.wire(
+                f"nic{i}", to=f"nic{(i + 1) % hosts}",
+                propagation_delay=args.wire_delay,
+            )
+    return topo
+
+
 def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Dict[str, float]) -> int:
     """``fv simulate --nic``: the full DES pipeline, rate-scaled.
 
-    Runs the same assembly the figure reproductions use (senders → NIC
-    pipeline → sink) and optionally dumps the raw observability streams
-    (``--trace``: per-event JSONL; ``--metrics``: periodic registry
-    snapshots) that the achieved-rate report is computed from.
+    A thin adapter over :mod:`repro.topology` — declares a one-host
+    :class:`~repro.topology.Topology`, builds it through the shared
+    domain builder (the same assembly, and event stream, the figure
+    reproductions use), and optionally dumps the raw observability
+    streams (``--trace``: per-event JSONL; ``--metrics``: periodic
+    registry snapshots) that the achieved-rate report is computed from.
     """
-    from .experiments.base import ScaledSetup, _scale_demand
-    from .core.frontend import FlowValveFrontend
-    from .host import FixedRateSender
-    from .net import PacketFactory, PacketSink
-    from .nic import NicPipeline
-    from .sim import Simulator, Tracer
-    from .stats.metrics import MetricsRegistry, MetricsSampler
+    from .topology import ScaledSetup, SimulationSpec
+    from .topology.build import build_domains
 
     if args.scale <= 0:
         raise ReproError(f"--scale must be positive, got {args.scale}")
-    tracer = Tracer(limit=args.trace_limit) if args.trace else None
-    registry = MetricsRegistry() if args.metrics else None
     setup = ScaledSetup.for_link(link, scale=args.scale, seed=args.seed)
-    sim = Simulator(seed=setup.seed, tracer=tracer, metrics=registry)
-    frontend = FlowValveFrontend(policy, link_rate_bps=setup.link_bps, params=setup.sched_params())
-    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
-    nic = NicPipeline.with_flowvalve(sim, setup.nic_config(), frontend, receiver=sink.receive)
-    factory = PacketFactory()
-    for index, app in enumerate(sorted(demands)):
-        FixedRateSender(
-            sim, app, factory, nic.submit,
-            rate_bps=setup.sender_rate(),
-            packet_size=args.packet_size,
-            demand=_scale_demand(lambda t, rate=demands[app]: rate, setup.scale),
-            vf_index=index,
-            jitter=0.1,
-            rng=sim.random.stream(app),
-        )
-    sampler = None
-    if registry is not None and args.duration > 0:
-        sampler = MetricsSampler(sim, registry, interval=args.duration / 100.0)
+    spec = SimulationSpec(
+        topology=_simulate_topology(args, policy, demands),
+        setup=setup,
+        duration=args.duration,
+        packet_size=args.packet_size,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+        trace_limit=args.trace_limit,
+        # The CLI samples 100 snapshots per run (not per report bin).
+        metrics_interval=(args.duration / 100.0 if args.duration > 0 else None),
+    )
+    [built] = build_domains(spec, [0])
+    sim, sink, nic = built.sim, built.sink, built.nic
     sim.run(until=args.duration)
 
     elapsed = args.duration if args.duration > 0 else float("inf")
@@ -392,18 +448,73 @@ def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Di
     total = sink.total_bytes * 8 / elapsed * setup.scale
     print(f"  {'total':>8s}: {format_rate(total):>12s}")
     print(f"  {nic.stats_summary()}")
-    if tracer is not None:
-        count = tracer.to_jsonl(args.trace)
+    if built.tracer is not None:
+        count = built.tracer.to_jsonl(args.trace)
         print(f"  trace: {count} records -> {args.trace}")
-    if registry is not None:
-        if sampler is not None:
-            sampler.sample()  # final snapshot at t=end
-            count = sampler.to_jsonl(args.metrics)
+    if built.registry is not None:
+        if built.sampler is not None and args.duration > 0:
+            built.sampler.sample()  # final snapshot at t=end
+            count = built.sampler.to_jsonl(args.metrics)
         else:
             from .stats.metrics import write_jsonl
 
-            count = write_jsonl(args.metrics, [{"time": sim.now, **registry.snapshot()}])
+            count = write_jsonl(args.metrics, [{"time": sim.now, **built.registry.snapshot()}])
         print(f"  metrics: {count} snapshots -> {args.metrics}")
+    return 0
+
+
+def _cmd_simulate_fabric(args: argparse.Namespace, policy, link: float, demands: Dict[str, float]) -> int:
+    """``fv simulate --hosts N [--shards K]``: the sharded fabric.
+
+    Everything on stdout is deterministic for a fixed seed and
+    *identical for every shard count* (the engine's contract); the
+    wall-clock/worker line goes to stderr so shard counts can be
+    diff-checked: ``fv simulate ... --shards 2 2>/dev/null``.
+    """
+    from .topology import ScaledSetup, SimulationSpec
+
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive, got {args.scale}")
+    if args.hosts < 1:
+        raise ReproError(f"--hosts must be at least 1, got {args.hosts}")
+    if args.shards < 1:
+        raise ReproError(f"--shards must be at least 1, got {args.shards}")
+    setup = ScaledSetup.for_link(link, scale=args.scale, seed=args.seed)
+    spec = SimulationSpec(
+        topology=_simulate_topology(args, policy, demands),
+        setup=setup,
+        duration=args.duration,
+        packet_size=args.packet_size,
+        title=f"fv simulate fabric ({args.hosts} hosts)",
+        shards=args.shards,
+    )
+    result = spec.run()
+
+    print(
+        f"simulated {args.duration:.1f}s at link {format_rate(link)} "
+        f"(fabric: {args.hosts} hosts, scale=1/{setup.scale:g}, "
+        f"seed={setup.seed}):"
+    )
+    total = 0.0
+    for app in sorted(demands):
+        achieved = result.throughput_bps(app)
+        total += achieved
+        print(
+            f"  {app:>8s}: offered {format_rate(demands[app]):>12s}/host"
+            f"  achieved {format_rate(achieved):>12s} aggregate"
+        )
+    print(f"  {'total':>8s}: {format_rate(total):>12s}")
+    print(
+        f"  delivered={result.total_packets} "
+        f"drops={result.total_dropped}/{result.total_submitted} "
+        f"windows={result.windows}"
+        + (" [degraded: zero lookahead]" if result.degraded else "")
+    )
+    print(
+        f"shards={result.shards} workers={min(result.shards, args.hosts)} "
+        f"wall={result.wall_seconds:.2f}s",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -488,18 +599,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     # The shared flags use suppressed defaults; the bench's canonical
     # point is the recorded reference config (seed 7, scale 200, 20 s).
+    shards = getattr(args, "shards", 1)
+    hosts = getattr(args, "hosts", 8)
+    fabric_mode = shards > 1
     seed = getattr(args, "seed", hotpath.DEFAULT_SETUP.seed)
-    scale = getattr(args, "scale", hotpath.DEFAULT_SETUP.scale)
-    duration = getattr(args, "duration", hotpath.DEFAULT_DURATION)
     repeat = getattr(args, "repeat", 1)
+    if fabric_mode:
+        from .experiments import fabric
+
+        scale = getattr(args, "scale", fabric.DEFAULT_SETUP.scale)
+        duration = getattr(args, "duration", 2.0)
+    else:
+        scale = getattr(args, "scale", hotpath.DEFAULT_SETUP.scale)
+        duration = getattr(args, "duration", hotpath.DEFAULT_DURATION)
     if scale <= 0:
         raise ReproError(f"--scale must be positive, got {scale}")
     if duration <= 0:
         raise ReproError(f"--duration must be positive, got {duration}")
     if repeat < 1:
         raise ReproError(f"--repeat must be at least 1, got {repeat}")
-    setup = dc_replace(hotpath.DEFAULT_SETUP, scale=scale, seed=seed)
-    label = f"fig11a-scale{setup.scale:g}-{duration:g}s"
+    if shards < 1:
+        raise ReproError(f"--shards must be at least 1, got {shards}")
+    if fabric_mode and args.profile:
+        raise ReproError(
+            "--profile is single-shard only (profiling the coordinator "
+            "process would miss the workers doing the actual simulation)"
+        )
+    workers = min(shards, hosts) if fabric_mode else 1
 
     profiler = None
     if args.profile:
@@ -511,13 +637,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # with the machine, but events/packets must not — a fixed seed is
     # the whole point of the events/packet gate.
     results = []
-    for _ in range(repeat):
-        sim, nic = hotpath.build(setup)
-        run = lambda: sim.run(until=duration)  # noqa: E731 - tiny closure
-        if profiler is not None:
-            inner = run
-            run = lambda: profiler.runcall(inner)  # noqa: E731
-        results.append(measure_run(sim, run, lambda: nic.submitted, label=label))
+    if fabric_mode:
+        from .stats.perf import HotpathResult
+
+        label = f"fabric{hosts}-shards{shards}-scale{scale:g}-{duration:g}s"
+        fabric_setup = dc_replace(fabric.DEFAULT_SETUP, scale=scale, seed=seed)
+        for _ in range(repeat):
+            fr = fabric.run(
+                fabric_setup, hosts=hosts, shards=shards, duration=duration,
+            )
+            safe_wall = fr.wall_seconds if fr.wall_seconds > 0 else float("inf")
+            results.append(
+                HotpathResult(
+                    label=label,
+                    wall_seconds=fr.wall_seconds,
+                    events=fr.total_events,
+                    packets=fr.total_packets,
+                    events_per_sec=fr.total_events / safe_wall,
+                    packets_per_sec=fr.total_packets / safe_wall,
+                    events_per_packet=(
+                        fr.total_events / fr.total_packets
+                        if fr.total_packets else 0.0
+                    ),
+                )
+            )
+    else:
+        setup = dc_replace(hotpath.DEFAULT_SETUP, scale=scale, seed=seed)
+        label = f"fig11a-scale{setup.scale:g}-{duration:g}s"
+        for _ in range(repeat):
+            sim, nic = hotpath.build(setup)
+            run = lambda: sim.run(until=duration)  # noqa: E731 - tiny closure
+            if profiler is not None:
+                inner = run
+                run = lambda: profiler.runcall(inner)  # noqa: E731
+            results.append(measure_run(sim, run, lambda: nic.submitted, label=label))
     if profiler is not None:
         profiler.dump_stats(args.profile)
 
@@ -549,15 +702,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     extra = {
         "seed": seed,
-        "seed_events": hotpath.SEED_EVENTS,
-        "seed_packets": hotpath.SEED_PACKETS,
-        "seed_pkt_per_sec_ref": hotpath.SEED_PKT_PER_SEC,
-        "speedup_pkt_per_sec_vs_seed": result.packets_per_sec / hotpath.SEED_PKT_PER_SEC,
-        "kernel_events_cut_vs_seed": (
-            hotpath.SEED_EVENTS / result.events if result.events else 0.0
-        ),
+        "shards": shards,
+        "workers": workers,
         "repeat": repeat,
         "wall_seconds_all": [r.wall_seconds for r in results],
+    }
+    if fabric_mode:
+        extra["hosts"] = hosts
+    else:
+        # Seed-code reference ratios only make sense for the canonical
+        # single-NIC hot-path workload.
+        extra.update({
+            "seed_events": hotpath.SEED_EVENTS,
+            "seed_packets": hotpath.SEED_PACKETS,
+            "seed_pkt_per_sec_ref": hotpath.SEED_PKT_PER_SEC,
+            "speedup_pkt_per_sec_vs_seed": (
+                result.packets_per_sec / hotpath.SEED_PKT_PER_SEC
+            ),
+            "kernel_events_cut_vs_seed": (
+                hotpath.SEED_EVENTS / result.events if result.events else 0.0
+            ),
+        })
+    extra.update({
         "wall_seconds_median": wall_median,
         "wall_seconds_min": wall_min,
         # Wall-dependent rates only compare like-for-like on the same
@@ -569,7 +735,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "python_version": platform.python_version(),
             "cpu_count": os.cpu_count(),
         },
-    }
+    })
     write_json(args.out, result, extra=extra)
     print(f"artifact: {args.out}")
     if args.profile:
@@ -578,6 +744,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline is not None:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
+        base_shards = baseline.get("shards", 1)
+        if base_shards != shards:
+            # Different workloads (single-NIC hot path vs. sharded
+            # fabric) have different events/packet ratios by design.
+            print(
+                f"baseline {args.baseline}: recorded at shards={base_shards}, "
+                f"this run used --shards {shards}; skipping the "
+                "events/packet gate (ratios only compare like with like)"
+            )
+            return 0
         base_epp = baseline["events_per_packet"]
         limit = base_epp * (1.0 + args.tolerance)
         delta = (result.events_per_packet - base_epp) / base_epp if base_epp else 0.0

@@ -32,6 +32,7 @@ from .workloads import (
     motivation_demands,
     weighted_demands,
 )
+from .fabric import FabricResult, run_fabric_sweep
 from .fig03 import run_fig03
 from .fig11 import run_fig11a, run_fig11b, run_fig11c
 from .fig13 import Fig13Result, Fig13Row, run_fig13
@@ -63,6 +64,8 @@ __all__ = [
     "fair_queueing_demands",
     "motivation_demands",
     "weighted_demands",
+    "FabricResult",
+    "run_fabric_sweep",
     "run_fig03",
     "run_fig11a",
     "run_fig11b",

@@ -19,18 +19,17 @@ dedicated TCP-realism experiment and the test suite.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..baselines import HtbQdisc, KernelParams, KernelQdiscRuntime
-from ..core import FlowValveFrontend
+from ..baselines import HtbQdisc, KernelQdiscRuntime
 from ..core.sched_tree import SchedulingParams
 from ..net import Link, PacketFactory, PacketSink
-from ..nic import NicConfig, NicPipeline
 from ..host import FixedRateSender, propagate_next_change
 from ..sim import Simulator
 from ..stats.report import Table
 from ..tc.ast import PolicyConfig
+from ..topology.setup import ScaledSetup
 
 __all__ = [
     "ScaledSetup",
@@ -59,79 +58,9 @@ def warn_deprecated(old: str, new: str) -> None:
     )
 
 
-@dataclass(frozen=True)
-class ScaledSetup:
-    """A consistent rate-scaled testbed configuration.
-
-    Attributes
-    ----------
-    nominal_link_bps: the link rate the results are reported at.
-    scale: the rate-scale divisor (DESIGN.md §1).
-    wire_bps: the physical NIC wire in nominal units (the Netronome is
-        a 40 Gbit card even when the policy ceiling is 10 Gbit — the
-        distinction matters for the HTB ceiling-overshoot artifact).
-    seed: simulation seed.
-    """
-
-    nominal_link_bps: float = 10e9
-    scale: float = 100.0
-    wire_bps: float = 40e9
-    seed: int = 7
-
-    @classmethod
-    def for_link(cls, link_bps: float, *, scale: float = 100.0, seed: int = 7) -> "ScaledSetup":
-        """A setup whose policy ceiling and physical wire coincide.
-
-        This is the CLI/campaign convention: one ``--link`` flag names
-        both rates (the HTB overshoot experiments, which need them to
-        differ, construct their setups explicitly).
-        """
-        return cls(nominal_link_bps=link_bps, scale=scale, wire_bps=link_bps, seed=seed)
-
-    @property
-    def link_bps(self) -> float:
-        """The scaled policy/link rate the simulation runs at."""
-        return self.nominal_link_bps / self.scale
-
-    @property
-    def scaled_wire_bps(self) -> float:
-        return self.wire_bps / self.scale
-
-    def sched_params(self, **overrides) -> SchedulingParams:
-        """Scaled FlowValve scheduling parameters."""
-        return SchedulingParams.scaled(self.scale, **overrides)
-
-    def nic_config(self, **overrides) -> NicConfig:
-        """Scaled NIC configuration with epoch-consistent queue depths.
-
-        Ring/dispatch depths are sized so their *time* at the scaled
-        packet rate matches the real card's (≈1-2 ms of wire), which
-        the plain depth/scale division can't express once a depth
-        floors out.
-        """
-        cfg = NicConfig(line_rate_bps=self.wire_bps).scaled(self.scale)
-        pps = self.link_bps / ((1500 + 20) * 8)
-        ring = max(32, int(2.0 * self.sched_params().update_interval * pps))
-        cfg = replace(
-            cfg,
-            tx_ring_depth=ring,
-            dispatch_depth=2 * ring,
-            buffer_count=8 * ring,
-            **overrides,
-        )
-        return cfg
-
-    def kernel_params(self) -> KernelParams:
-        """Scaled kernel cost model."""
-        return KernelParams().scaled(self.scale)
-
-    def sender_rate(self, fraction_of_link: float = 1.4) -> float:
-        """A backlogging offered rate: *fraction* × the scaled link.
-
-        1.4× keeps every active sender decisively above any share it
-        could be granted while bounding the (simulation-costly)
-        dropped-packet volume."""
-        return fraction_of_link * self.link_bps
+# :class:`ScaledSetup` moved to :mod:`repro.topology.setup` when the
+# topology package became the public construction API; the name is
+# re-exported here (unchanged) for every historical import site.
 
 
 @dataclass
@@ -221,47 +150,27 @@ def run_flowvalve_timeline(
     (drops, verdicts, rate updates, queue depths) and one metrics
     snapshot per reporting bin, both as JSONL. When omitted (the
     default) the run uses the no-op sinks and pays zero overhead.
-    """
-    from ..sim import Tracer
-    from ..stats.metrics import MetricsRegistry, MetricsSampler
 
-    tracer = Tracer(limit=trace_limit) if trace_path else None
-    registry = MetricsRegistry() if metrics_path else None
-    sim = Simulator(seed=setup.seed, tracer=tracer, metrics=registry)
-    sched = params if params is not None else setup.sched_params()
-    frontend = FlowValveFrontend(policy, link_rate_bps=setup.link_bps, params=sched)
-    sink = PacketSink(sim, rate_window=1.0, record_delays=False)
-    nic = NicPipeline.with_flowvalve(sim, setup.nic_config(), frontend, receiver=sink.receive)
-    factory = PacketFactory()
-    for index, (app, demand) in enumerate(sorted(demands.items())):
-        scaled_demand = _scale_demand(demand, setup.scale)
-        FixedRateSender(
-            sim,
-            app,
-            factory,
-            nic.submit,
-            rate_bps=setup.sender_rate(),
-            packet_size=packet_size,
-            demand=scaled_demand,
-            vf_index=index,
-            jitter=0.1,
-            rng=sim.random.stream(app),
-        )
-    sampler = None
-    if registry is not None:
-        sampler = MetricsSampler(sim, registry, interval=bin_seconds)
-    sim.run(until=duration)
-    notes = f"scale=1/{setup.scale:.0f}, drops={nic.dropped}/{nic.submitted}"
-    if tracer is not None:
-        count = tracer.to_jsonl(trace_path)
-        notes += f", trace={count} records -> {trace_path}"
-    if sampler is not None:
-        sampler.sample()  # final snapshot at t=duration
-        count = sampler.to_jsonl(metrics_path)
-        notes += f", metrics={count} snapshots -> {metrics_path}"
-    return _collect_timeline(
-        sink, sorted(demands), duration, bin_seconds, setup.scale, title,
-        notes=notes,
+    .. deprecated::
+        Thin shim over :func:`repro.topology.timeline` (the
+        ``Topology``/``SimulationSpec`` construction API) — same
+        world, same event stream, same result shape.
+    """
+    from ..topology import timeline
+
+    warn_deprecated("run_flowvalve_timeline", "repro.topology.timeline")
+    return timeline(
+        policy,
+        demands,
+        setup,
+        duration=duration,
+        bin_seconds=bin_seconds,
+        title=title,
+        packet_size=packet_size,
+        params=params,
+        trace_path=trace_path,
+        metrics_path=metrics_path,
+        trace_limit=trace_limit,
     )
 
 

@@ -15,7 +15,7 @@ from typing import Optional
 
 from ...errors import TransientError
 from ...stats.report import Table
-from .. import ablations, cpu_cores, crossbar, fig03, fig11, fig13, fig14, hotpath, tcp_realism
+from .. import ablations, cpu_cores, crossbar, fabric, fig03, fig11, fig13, fig14, hotpath, tcp_realism
 from ..base import ScaledSetup
 from .spec import REGISTRY, register
 
@@ -145,6 +145,13 @@ def _register_builtins() -> None:
         grid={"scheduler": ["flowvalve", "wfq"], "workload": ["motivation"]},
         defaults={"duration": 20.0, "backend": "pifo"},
         schema={"series": dict},
+    )
+    register(
+        "fabric_sweep", fabric.run,
+        description="E-FABRIC — 64-host ring fabric over the sharded engine",
+        grid={"shards": [1, 2, 4]},
+        defaults={"hosts": 64, "duration": 2.0},
+        schema={"pkt_per_sec": float, "total_packets": int},
     )
     register(
         "smoke_sleep", smoke_sleep,

@@ -6,9 +6,8 @@ workload (policy + demand timeline) on the shared NIC model and
 returns the usual :class:`~repro.experiments.base.TimelineResult`.
 
 The default FlowValve scheduler routes through the *unchanged*
-calibrated NIC pipeline (:func:`~repro.experiments.base.
-run_flowvalve_timeline`) — selecting it reproduces the Fig. 11 numbers
-byte-identically. Every other scheduler runs on the
+calibrated NIC pipeline (:func:`repro.topology.timeline`) — selecting
+it reproduces the Fig. 11 numbers byte-identically. Every other scheduler runs on the
 :class:`~repro.sched.runtime.ScheduledPort` worker-model runtime,
 which charges the scheduler's step costs and paces the same wire.
 """
@@ -23,7 +22,8 @@ from ..nic.config import NicConfig
 from ..host import FixedRateSender
 from ..sim import Simulator
 from ..sched import ScheduledPort, build_scheduler
-from .base import ScaledSetup, TimelineResult, _collect_timeline, _scale_demand, run_flowvalve_timeline
+from ..topology import timeline
+from .base import ScaledSetup, TimelineResult, _collect_timeline, _scale_demand
 from .policies import fair_policy, motivation_policy
 from .workloads import fair_queueing_demands, motivation_demands
 
@@ -85,7 +85,7 @@ def run(
     if scheduler == "flowvalve":
         # The reference path: identical assembly (and event stream) to
         # the Fig. 11 reproductions — the crossbar must not perturb it.
-        return run_flowvalve_timeline(
+        return timeline(
             policy, demands, setup,
             duration=duration, bin_seconds=bin_seconds, title=title,
         )

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .base import ScaledSetup, TimelineResult, run_flowvalve_timeline, warn_deprecated
+from ..topology import timeline
+from .base import ScaledSetup, TimelineResult, warn_deprecated
 from .policies import fair_policy, motivation_policy, weighted_policy
 from .workloads import fair_queueing_demands, motivation_demands, weighted_demands
 
@@ -51,7 +52,7 @@ def run(
         policy = weighted_policy(setup.link_bps)
         demands = weighted_demands(duration=duration)
         title = "Fig. 11(c) — FlowValve weighted fair queueing at 40 Gbit"
-    return run_flowvalve_timeline(policy, demands, setup, duration=duration, title=title)
+    return timeline(policy, demands, setup, duration=duration, title=title)
 
 
 def run_fig11a(

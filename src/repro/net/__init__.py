@@ -9,6 +9,7 @@ from .packet import Packet, PacketFactory, DropReason
 from .flow import FiveTuple, Flow, FlowTable
 from .link import Link
 from .sink import PacketSink
+from .boundary import BoundaryOutbox, RemoteIngress, WireRecord
 
 __all__ = [
     "Packet",
@@ -19,4 +20,7 @@ __all__ = [
     "FlowTable",
     "Link",
     "PacketSink",
+    "BoundaryOutbox",
+    "RemoteIngress",
+    "WireRecord",
 ]

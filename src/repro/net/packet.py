@@ -145,12 +145,17 @@ class PacketFactory:
     numbers.
 
     One factory per experiment keeps sequence numbers globally unique,
-    which the NIC reorder system relies on.
+    which the NIC reorder system relies on. Sharded topologies give
+    each domain's factory a disjoint ``start_seq`` bank so uniqueness
+    holds across every domain without coordination.
     """
 
-    def __init__(self) -> None:
-        self._next_seq = 0
-        #: Total packets created (== next sequence number).
+    def __init__(self, start_seq: int = 0) -> None:
+        if start_seq < 0:
+            raise ValueError(f"start_seq must be >= 0, got {start_seq}")
+        self._next_seq = start_seq
+        #: Total packets created (sequence numbers start at
+        #: ``start_seq`` and advance by one per packet).
         self.created = 0
 
     def make(

@@ -244,10 +244,12 @@ class NicPipeline:
         frontend,
         receiver: Optional[Callable[[Packet], None]] = None,
         on_drop: Optional[Callable[[Packet], None]] = None,
+        wire_propagation: float = 1e-6,
     ) -> "NicPipeline":
         """Assemble a pipeline running a FlowValve front end's policy."""
         app = FlowValveNicApp(frontend.labeler, frontend.scheduler)
-        return cls(sim, config, app, receiver=receiver, on_drop=on_drop)
+        return cls(sim, config, app, receiver=receiver, on_drop=on_drop,
+                   wire_propagation=wire_propagation)
 
     # ------------------------------------------------------------------
     # ingress

@@ -22,6 +22,7 @@ from .simulator import Simulator
 from .process import At, Process
 from .resources import Lock, Store, TokenPool
 from .randomness import RandomStreams
+from .shard import BoundaryWire, ShardError, ShardPlan
 from .trace import Tracer, NullTracer, TraceRecord
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "Simulator",
     "At",
     "Process",
+    "BoundaryWire",
+    "ShardError",
+    "ShardPlan",
     "Lock",
     "Store",
     "TokenPool",

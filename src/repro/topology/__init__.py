@@ -1,0 +1,45 @@
+"""The public simulation-construction API (DESIGN.md §11).
+
+Declare a world with :class:`Topology` (NICs, hosts, apps, wires),
+bind it to a :class:`ScaledSetup` in a :class:`SimulationSpec`, and
+``run()`` it — inline, or sharded over worker processes via the
+conservative-window engine in :mod:`repro.sim.shard`:
+
+>>> from repro import ScaledSetup, SimulationSpec, Topology
+>>> topo = (Topology()
+...         .nic("n0", policy=policy)
+...         .host("h0", nic="n0")
+...         .app("h0", "KVS", demand=((0.0, 30.0, 9e9),)))
+>>> result = SimulationSpec(topology=topo, setup=ScaledSetup()).run()
+
+Every classic entry point — ``run_flowvalve_timeline``, the ``fv
+simulate`` argument plumbing, the figure runners — is a thin adapter
+over this package (:func:`timeline` is the single-NIC one they share).
+"""
+
+from .build import timeline
+from .result import DomainSummary, SimulationResult
+from .setup import ScaledSetup
+from .spec import (
+    AppSpec,
+    DomainSpec,
+    HostSpec,
+    NicSpec,
+    SimulationSpec,
+    Topology,
+    WireSpec,
+)
+
+__all__ = [
+    "AppSpec",
+    "DomainSpec",
+    "DomainSummary",
+    "HostSpec",
+    "NicSpec",
+    "ScaledSetup",
+    "SimulationResult",
+    "SimulationSpec",
+    "Topology",
+    "WireSpec",
+    "timeline",
+]

@@ -1,0 +1,104 @@
+"""The rate-scaled testbed configuration.
+
+:class:`ScaledSetup` historically lived in :mod:`repro.experiments.base`;
+it moved here when :mod:`repro.topology` became the public construction
+API (every simulation — figure reproduction, CLI what-if, sharded
+fabric — starts from one). ``repro.experiments.base.ScaledSetup``
+remains as a re-export, so existing imports and pickled campaign
+params keep working.
+
+**Rate scaling.** The paper's timelines run 45-60 s at 10-40 Gbit —
+hundreds of millions of packets, beyond a per-packet Python DES. Every
+timeline experiment therefore runs *rate-scaled* (DESIGN.md §1): all
+bandwidths divide by ``scale`` and all latency/time constants multiply
+by it, preserving every dimensionless ratio (packets per update epoch,
+RTT/ΔT, queue time/epoch, burst/BDP). Results are reported in nominal
+units by multiplying rates back up; measured delays divide by
+``scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.sched_tree import SchedulingParams
+from ..nic import NicConfig
+
+__all__ = ["ScaledSetup"]
+
+
+@dataclass(frozen=True)
+class ScaledSetup:
+    """A consistent rate-scaled testbed configuration.
+
+    Attributes
+    ----------
+    nominal_link_bps: the link rate the results are reported at.
+    scale: the rate-scale divisor (DESIGN.md §1).
+    wire_bps: the physical NIC wire in nominal units (the Netronome is
+        a 40 Gbit card even when the policy ceiling is 10 Gbit — the
+        distinction matters for the HTB ceiling-overshoot artifact).
+    seed: simulation seed.
+    """
+
+    nominal_link_bps: float = 10e9
+    scale: float = 100.0
+    wire_bps: float = 40e9
+    seed: int = 7
+
+    @classmethod
+    def for_link(cls, link_bps: float, *, scale: float = 100.0, seed: int = 7) -> "ScaledSetup":
+        """A setup whose policy ceiling and physical wire coincide.
+
+        This is the CLI/campaign convention: one ``--link`` flag names
+        both rates (the HTB overshoot experiments, which need them to
+        differ, construct their setups explicitly).
+        """
+        return cls(nominal_link_bps=link_bps, scale=scale, wire_bps=link_bps, seed=seed)
+
+    @property
+    def link_bps(self) -> float:
+        """The scaled policy/link rate the simulation runs at."""
+        return self.nominal_link_bps / self.scale
+
+    @property
+    def scaled_wire_bps(self) -> float:
+        return self.wire_bps / self.scale
+
+    def sched_params(self, **overrides) -> SchedulingParams:
+        """Scaled FlowValve scheduling parameters."""
+        return SchedulingParams.scaled(self.scale, **overrides)
+
+    def nic_config(self, **overrides) -> NicConfig:
+        """Scaled NIC configuration with epoch-consistent queue depths.
+
+        Ring/dispatch depths are sized so their *time* at the scaled
+        packet rate matches the real card's (≈1-2 ms of wire), which
+        the plain depth/scale division can't express once a depth
+        floors out.
+        """
+        cfg = NicConfig(line_rate_bps=self.wire_bps).scaled(self.scale)
+        pps = self.link_bps / ((1500 + 20) * 8)
+        ring = max(32, int(2.0 * self.sched_params().update_interval * pps))
+        cfg = replace(
+            cfg,
+            tx_ring_depth=ring,
+            dispatch_depth=2 * ring,
+            buffer_count=8 * ring,
+            **overrides,
+        )
+        return cfg
+
+    def kernel_params(self):
+        """Scaled kernel cost model."""
+        from ..baselines import KernelParams
+
+        return KernelParams().scaled(self.scale)
+
+    def sender_rate(self, fraction_of_link: float = 1.4) -> float:
+        """A backlogging offered rate: *fraction* × the scaled link.
+
+        1.4× keeps every active sender decisively above any share it
+        could be granted while bounding the (simulation-costly)
+        dropped-packet volume."""
+        return fraction_of_link * self.link_bps

@@ -1,0 +1,194 @@
+"""Unit tests for the shard planner and record routing (repro.sim.shard).
+
+The end-to-end byte-identity contract lives in
+``test_shard_determinism.py``; this file pins the plan-time pieces:
+partitioning, barrier tiling, the zero-lookahead guard, and the total
+order of cross-domain record routing (including the property that a
+window barrier can never reorder a stream it splits).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import BoundaryWire, ShardPlan
+from repro.sim.shard import route_records
+
+
+def _wire(src="a", dst="b", lookahead=0.1):
+    return BoundaryWire(src=src, dst=dst, lookahead=lookahead)
+
+
+class TestShardPlanBuild:
+    def test_contiguous_block_partition(self):
+        plan = ShardPlan.build(["a", "b", "c", "d"], shards=2)
+        assert plan.assignment == (0, 0, 1, 1)
+        assert plan.n_shards == 2
+
+    def test_uneven_partition_front_loads(self):
+        plan = ShardPlan.build(list("abcde"), shards=2)
+        assert plan.assignment == (0, 0, 0, 1, 1)
+
+    def test_shards_clamped_to_domain_count(self):
+        plan = ShardPlan.build(["a", "b"], shards=8)
+        assert plan.n_shards == 2
+        assert plan.assignment == (0, 1)
+
+    def test_shard_of_and_domains_of(self):
+        plan = ShardPlan.build(["a", "b", "c", "d"], shards=2)
+        assert plan.shard_of("a") == 0 and plan.shard_of("d") == 1
+        assert plan.domains_of(0) == (0, 1)
+        assert plan.domains_of(1) == (2, 3)
+
+    def test_no_domains_rejected(self):
+        with pytest.raises(SimulationError, match="no domains"):
+            ShardPlan.build([])
+
+    def test_duplicate_domains_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            ShardPlan.build(["a", "a"])
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(SimulationError, match="shards"):
+            ShardPlan.build(["a"], shards=0)
+
+    def test_unknown_boundary_domain_rejected(self):
+        with pytest.raises(SimulationError, match="unknown domain"):
+            ShardPlan.build(["a"], [_wire("a", "ghost")])
+
+    def test_lookahead_is_minimum_over_wires(self):
+        plan = ShardPlan.build(
+            ["a", "b"],
+            [_wire("a", "b", 0.5), _wire("b", "a", 0.2)],
+            shards=2,
+        )
+        assert plan.lookahead == pytest.approx(0.2)
+        assert plan.window == pytest.approx(0.2)
+
+    def test_window_override_below_lookahead(self):
+        plan = ShardPlan.build(["a", "b"], [_wire()], shards=2, window=0.05)
+        assert plan.window == pytest.approx(0.05)
+
+    def test_window_above_lookahead_rejected(self):
+        with pytest.raises(SimulationError, match="exceeds the lookahead"):
+            ShardPlan.build(["a", "b"], [_wire(lookahead=0.1)], window=0.2)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(SimulationError, match="window must be positive"):
+            ShardPlan.build(["a", "b"], [_wire()], window=0.0)
+
+    def test_independent_domains_need_no_window(self):
+        plan = ShardPlan.build(["a", "b"], shards=2)
+        assert plan.window is None
+        assert plan.barriers(10.0) == (10.0,)
+
+
+class TestZeroLookaheadGuard:
+    def test_falls_back_to_single_degraded_shard(self):
+        with pytest.warns(UserWarning, match="zero propagation delay"):
+            plan = ShardPlan.build(
+                ["a", "b"], [_wire(lookahead=0.0)], shards=2
+            )
+        assert plan.degraded
+        assert plan.n_shards == 1
+        assert plan.assignment == (0, 0)
+        assert plan.window is None and plan.lookahead is None
+
+    def test_warning_names_the_culprit_wire(self):
+        wires = [_wire("a", "b", 0.5), _wire("b", "a", 0.0)]
+        with pytest.warns(UserWarning, match="b->a"):
+            ShardPlan.build(["a", "b"], wires, shards=2)
+
+    def test_degraded_plan_runs_one_open_window(self):
+        with pytest.warns(UserWarning):
+            plan = ShardPlan.build(["a", "b"], [_wire(lookahead=0.0)], shards=4)
+        assert plan.barriers(3.0) == (3.0,)
+
+
+class TestBarriers:
+    def test_tiling_ends_exactly_at_duration(self):
+        plan = ShardPlan.build(["a", "b"], [_wire(lookahead=0.1)], shards=2)
+        assert plan.barriers(0.35) == pytest.approx((0.1, 0.2, 0.3, 0.35))
+
+    def test_exact_multiple_has_no_sliver(self):
+        plan = ShardPlan.build(["a", "b"], [_wire(lookahead=0.1)], shards=2)
+        barriers = plan.barriers(0.3)
+        assert len(barriers) == 3
+        assert barriers[-1] == 0.3
+
+    def test_zero_duration_single_barrier(self):
+        plan = ShardPlan.build(["a", "b"], [_wire(lookahead=0.1)], shards=2)
+        assert plan.barriers(0.0) == (0.0,)
+
+    def test_window_longer_than_duration(self):
+        plan = ShardPlan.build(["a", "b"], [_wire(lookahead=5.0)], shards=2)
+        assert plan.barriers(2.0) == (2.0,)
+
+
+def _rec(time, seq=0):
+    # (arrival_time, seq, size, created_at, app, vf_index)
+    return (time, seq, 1500, 0.0, "A", 0)
+
+
+class TestRouteRecords:
+    def test_merges_by_time_then_source_then_position(self):
+        a = [_rec(1.0, 1), _rec(3.0, 2)]
+        b = [_rec(1.0, 3), _rec(2.0, 4)]
+        routed = route_records([(1, "d", b), (0, "d", a)])
+        assert [r[1] for r in routed["d"]] == [1, 3, 4, 2]
+
+    def test_equal_time_same_source_keeps_wire_order(self):
+        a = [_rec(1.0, 10), _rec(1.0, 11), _rec(1.0, 12)]
+        routed = route_records([(0, "d", a)])
+        assert [r[1] for r in routed["d"]] == [10, 11, 12]
+
+    def test_destinations_are_independent(self):
+        routed = route_records([(0, "x", [_rec(1.0, 1)]), (0, "y", [_rec(0.5, 2)])])
+        assert set(routed) == {"x", "y"}
+
+    def test_empty_shipments(self):
+        assert route_records([]) == {}
+        assert route_records([(0, "d", [])]) == {}
+
+
+@st.composite
+def _streams(draw):
+    """Two per-source streams of non-decreasing arrival times (floats
+    snapped to a small grid so equal timestamps are common)."""
+    def stream(src):
+        deltas = draw(st.lists(st.integers(min_value=0, max_value=3),
+                               min_size=0, max_size=20))
+        times, t = [], 0.0
+        for d in deltas:
+            t += d * 0.25
+            times.append(t)
+        return [(t, i + src * 1000, 1500, 0.0, "A", 0)
+                for i, t in enumerate(times)]
+    return stream(0), stream(1)
+
+
+class TestBarrierSplitProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_streams(), st.integers(min_value=0, max_value=16))
+    def test_window_split_never_reorders(self, streams, barrier_step):
+        """Routing a stream in two windows == routing it whole.
+
+        This is the invariant that makes the window count (and hence
+        the shard count) invisible to a destination domain: however the
+        barriers slice the traffic, concatenating the per-window trains
+        reproduces the unsplit global order — equal-timestamp trains
+        included.
+        """
+        a, b = streams
+        barrier = barrier_step * 0.25
+        whole = route_records([(0, "d", a), (1, "d", b)]).get("d", [])
+        first = route_records([
+            (0, "d", [r for r in a if r[0] <= barrier]),
+            (1, "d", [r for r in b if r[0] <= barrier]),
+        ]).get("d", [])
+        second = route_records([
+            (0, "d", [r for r in a if r[0] > barrier]),
+            (1, "d", [r for r in b if r[0] > barrier]),
+        ]).get("d", [])
+        assert first + second == whole
