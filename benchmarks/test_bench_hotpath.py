@@ -72,6 +72,24 @@ def test_hotpath_events_and_packets_per_sec(benchmark, emit):
 
     speedup_pkt = result.packets_per_sec / SEED_PKT_PER_SEC
     events_ratio = SEED_EVENTS / result.events
+
+    # The fabric events/packet row (E-FABRIC): the sharded 8-host ring
+    # with the fluid lane emitting/absorbing boundary trains. Cheap
+    # (~0.2 s) and deterministic; the full fabric bench with its own
+    # committed baseline lives in test_bench_fabric.py.
+    from repro.experiments import fabric
+
+    fab = fabric.run(hosts=8, shards=1, duration=2.0)
+    fabric_row = {
+        "label": f"fabric8-scale{fabric.DEFAULT_SETUP.scale:g}-2s",
+        "events": fab.total_events,
+        "packets": fab.total_packets,
+        "events_per_packet": fab.events_per_packet,
+        "fluid_absorbed": fab.fluid_absorbed,
+        "fluid_spills": fab.fluid_spills,
+        "fluid_suspends": fab.fluid_suspends,
+    }
+
     out = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
     write_json(
         os.path.normpath(out),
@@ -86,6 +104,7 @@ def test_hotpath_events_and_packets_per_sec(benchmark, emit):
             # artifacts recorded at a different shard count.
             "shards": 1,
             "workers": 1,
+            "fabric": fabric_row,
         },
     )
     emit(

@@ -159,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="nominal inter-host propagation delay; its scaled value is "
              "the shard planner's lookahead (default 5e-5)",
     )
+    simulate.add_argument(
+        "--no-fluid", action="store_true",
+        help="disable the fluid fast-forward lane (NicConfig.fluid=False). "
+             "Every reported tally is bit-identical either way — the lane "
+             "only cuts kernel events — so diffing the two stdouts is a "
+             "determinism check (the CI fabric fluid-smoke step)",
+    )
 
     bench = sub.add_parser(
         "bench", parents=[_sim_parent(explicit=True)],
@@ -391,6 +398,7 @@ def _simulate_topology(args: argparse.Namespace, policy, demands: Dict[str, floa
             f"nic{i}", policy=policy,
             scheduler=getattr(args, "scheduler", "flowvalve"),
             backend=getattr(args, "backend", "pifo"),
+            fluid=not getattr(args, "no_fluid", False),
         )
         topo.host(f"host{i}", nic=f"nic{i}")
         for app in sorted(demands):
@@ -708,7 +716,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "wall_seconds_all": [r.wall_seconds for r in results],
     }
     if fabric_mode:
-        extra["hosts"] = hosts
+        # Lane and per-domain/per-shard breakdowns (deterministic, same
+        # in every repeat) so the regression gate can localize which
+        # domain's lane disengaged, not just see the total ratio move.
+        domain_events = fr.domain_events
+        names = list(domain_events)
+        base, leftover = divmod(len(names), max(workers, 1))
+        shard_events: List[int] = []
+        cursor = 0
+        for shard_index in range(max(workers, 1)):
+            count = base + (1 if shard_index < leftover else 0)
+            shard_events.append(
+                sum(domain_events[name] for name in names[cursor:cursor + count])
+            )
+            cursor += count
+        extra.update({
+            "hosts": hosts,
+            "fluid_absorbed": fr.fluid_absorbed,
+            "fluid_spills": fr.fluid_spills,
+            "fluid_suspends": fr.fluid_suspends,
+            "domain_events": domain_events,
+            # Contiguous-block partition, mirroring ShardPlan.build.
+            "shard_events": shard_events,
+        })
     else:
         # Seed-code reference ratios only make sense for the canonical
         # single-NIC hot-path workload.

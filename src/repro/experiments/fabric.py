@@ -63,6 +63,14 @@ class FabricResult:
     #: App name -> aggregate nominal achieved bit/s (all domains).
     app_rates: Dict[str, float] = field(default_factory=dict)
     degraded: bool = False
+    #: Fluid fast-forward lane tallies summed over all domains
+    #: (0 everywhere when the lane is off).
+    fluid_absorbed: int = 0
+    fluid_spills: int = 0
+    fluid_suspends: int = 0
+    #: Domain name -> kernel events executed by that domain's
+    #: simulator, so a regression can be localized per domain.
+    domain_events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def pkt_per_sec(self) -> float:
@@ -77,6 +85,15 @@ class FabricResult:
             return 0.0
         return self.total_events / self.wall_seconds
 
+    @property
+    def events_per_packet(self) -> float:
+        """Kernel events per delivered packet — deterministic for a
+        fixed spec, the fabric counterpart of the single-NIC hot-path
+        ratio the bench regression gate pins."""
+        if self.total_packets <= 0:
+            return 0.0
+        return self.total_events / self.total_packets
+
     def to_table(self) -> Table:
         table = Table(
             f"fabric — {self.hosts} hosts, {self.shards} shards",
@@ -88,6 +105,11 @@ class FabricResult:
         table.add_row("wall clock", f"{self.wall_seconds:.2f}s")
         table.add_row("packets delivered", self.total_packets)
         table.add_row("events executed", self.total_events)
+        table.add_row("events/packet", f"{self.events_per_packet:.4f}")
+        table.add_row(
+            "fluid absorbed/spilled/suspended",
+            f"{self.fluid_absorbed}/{self.fluid_spills}/{self.fluid_suspends}",
+        )
         table.add_row("drops", f"{self.total_dropped}/{self.total_submitted}")
         table.add_row("pkt/s (wall)", f"{self.pkt_per_sec:,.0f}")
         table.add_row("events/s (wall)", f"{self.events_per_sec:,.0f}")
@@ -171,6 +193,10 @@ def run(
         total_dropped=result.total_dropped,
         app_rates=app_rates,
         degraded=result.degraded,
+        fluid_absorbed=result.total_fluid_absorbed,
+        fluid_spills=result.total_fluid_spills,
+        fluid_suspends=result.total_fluid_suspends,
+        domain_events={name: d.events for name, d in result.domains.items()},
     )
 
 

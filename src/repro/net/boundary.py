@@ -76,16 +76,32 @@ class RemoteIngress:
     would. Delivery rebuilds a lightweight :class:`Packet` and feeds it
     through the domain's receive callable after folding the sink's
     lazy pending (so per-app accounting observes non-decreasing times).
+
+    When the destination domain's NIC runs the fluid fast-forward lane
+    (DESIGN.md §7), the train is merged into that pipeline's shared
+    ingress run instead (``EventQueue.merge_run``): successive barrier
+    trains and local burst trains then share ONE run, so a window's
+    remote arrivals stop shredding the local trains into per-item
+    drain segments. Item (time, seq) order — and hence behavior — is
+    identical either way (both routes draw seqs from the shared kernel
+    counter at injection time); only the executed-event count differs.
+    Every other destination shape — software port, fluid disabled,
+    recording wrappers — conservatively keeps the per-packet
+    ``push_run`` route.
     """
 
-    __slots__ = ("sim", "sink", "receive")
+    __slots__ = ("sim", "sink", "receive", "pipeline")
 
-    def __init__(self, sim, sink, receive: Callable[[Packet], None]):
+    def __init__(self, sim, sink, receive: Callable[[Packet], None],
+                 pipeline=None):
         self.sim = sim
         self.sink = sink
         #: The domain's delivery callable — ``sink.receive`` or a
         #: recording wrapper around it (determinism suite).
         self.receive = receive
+        #: The destination domain's :class:`NicPipeline`, or None for
+        #: software-port domains. Only consulted for its fluid lane.
+        self.pipeline = pipeline
 
     def inject(self, barrier: float, records: Sequence[WireRecord]) -> None:
         """Splice *records* (sorted by arrival) in at a window barrier.
@@ -105,7 +121,12 @@ class RemoteIngress:
             for rec in records
             for time in (rec[0],)
         ]
-        self.sim._queue.push_run(entries)
+        pipeline = self.pipeline
+        if pipeline is not None and pipeline._fluid is not None:
+            # Fluid destination: one shared run for all ingress trains.
+            self.sim._queue.merge_run(pipeline.ingress_run(), entries)
+        else:
+            self.sim._queue.push_run(entries)
 
     def _deliver(self, time: float, seq: int, size: int, created_at: float,
                  app: str, vf_index: int) -> None:

@@ -69,6 +69,7 @@ from typing import List, Optional
 
 from ..core.token_bucket import MeterColor
 from ..errors import BufferExhausted
+from ..net.boundary import BoundaryOutbox
 from ..net.packet import DropReason, Packet
 from ..units import ETH_OVERHEAD
 
@@ -136,9 +137,21 @@ class FluidLane:
         self._tx_ring = pipeline.tx_ring
         self._link = pipeline.link
         self._sink = pipeline.link._lazy_sink
+        #: True when the lazy sink is a cross-shard BoundaryOutbox
+        #: (DESIGN.md §11): deliveries become WireRecord appends at the
+        #: exact virtual arrival time instead of PacketSink pendings.
+        #: The sink's class never changes after construction, so this
+        #: is resolved once. Never cache ``.records`` itself — barrier
+        #: drains rebind it.
+        self._boundary = self._sink.__class__ is BoundaryOutbox
         self._rate_bps = pipeline.link.rate_bps
         self._prop_delay = pipeline.link.propagation_delay
         self._n_workers = pipeline.config.n_workers
+        #: Deferred steps may mature past a window-barrier ``run()``
+        #: pause up to this absolute time (see Simulator.carry_horizon;
+        #: the topology builder sets it to the spec duration before the
+        #: pipeline is constructed).
+        self._carry = sim.carry_horizon
         #: Deferred micro-steps: ``(virtual_time, seq, fn, job)`` heap.
         self._micro: list = []
         #: Engaged: absorbing eligible packets, deferring to the heap.
@@ -317,6 +330,8 @@ class FluidLane:
         t2 = t_walk + c_walk
         t2 += self._c_meter
         horizon = self._sim._horizon
+        if self._carry > horizon:
+            horizon = self._carry  # window barrier: a pause, not an end
         if t2 > horizon:
             self._spill(packet)
             return
@@ -447,6 +462,8 @@ class FluidLane:
         t2 = t_walk + c_walk
         t2 += self._c_meter
         horizon = self._sim._horizon
+        if self._carry > horizon:
+            horizon = self._carry  # window barrier: a pause, not an end
         if t2 > horizon:
             return False  # handle_fast would keep the slow wakeups
         lenders = None
@@ -716,7 +733,16 @@ class FluidLane:
                 link.frames_sent += 1
                 link.bytes_sent += packet.size
                 sink = self._sink
-                if sink._drain_hook_registered:
+                if self._boundary:
+                    # Cross-shard wire: inlined BoundaryOutbox
+                    # .receive_later — one WireRecord at the virtual
+                    # arrival instant, identical to what the real lazy
+                    # route would have recorded.
+                    sink.records.append((
+                        finish + self._prop_delay, packet.seq, packet.size,
+                        packet.created_at, packet.app, packet.vf_index,
+                    ))
+                elif sink._drain_hook_registered:
                     sink._pending.append((finish + self._prop_delay, packet))
                 else:  # first delivery registers the drain hook
                     sink.receive_later(finish + self._prop_delay, packet)

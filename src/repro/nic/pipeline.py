@@ -107,6 +107,12 @@ class NicPipeline:
     on_drop: called with every packet the NIC discards, anywhere in the
         pipeline (buffer exhaustion, queue overflow, scheduler drop).
     wire_propagation: physical propagation delay of the attached wire.
+    boundary: a ``BoundaryOutbox`` standing in for the remote receiver
+        of a cross-shard wire (DESIGN.md §11). Mutually exclusive with
+        ``receiver``: deliveries become ``WireRecord`` appends on the
+        outbox instead of local sink folds, via the same lazy-delivery
+        route a ``PacketSink`` uses — which keeps the fluid lane
+        eligible on boundary NICs.
     """
 
     def __init__(
@@ -117,6 +123,7 @@ class NicPipeline:
         receiver: Optional[Callable[[Packet], None]] = None,
         on_drop: Optional[Callable[[Packet], None]] = None,
         wire_propagation: float = 1e-6,
+        boundary=None,
     ):
         self.sim = sim
         self.config = config
@@ -143,7 +150,13 @@ class NicPipeline:
         # receiver is a plain PacketSink with no delivery hook, link
         # deliveries fold into the sink's tallies at observation time
         # instead of costing one kernel event per frame.
-        if fast and receiver is not None:
+        if boundary is not None:
+            # A boundary NIC's wire terminates in another shard domain:
+            # every delivery is a WireRecord append on the outbox, an
+            # inherently lazy route (records are only read at window
+            # barriers), so it is installed regardless of fast mode.
+            self.link.enable_lazy_delivery(boundary)
+        elif fast and receiver is not None:
             sink = getattr(receiver, "__self__", None)
             if (
                 sink is not None
@@ -245,11 +258,12 @@ class NicPipeline:
         receiver: Optional[Callable[[Packet], None]] = None,
         on_drop: Optional[Callable[[Packet], None]] = None,
         wire_propagation: float = 1e-6,
+        boundary=None,
     ) -> "NicPipeline":
         """Assemble a pipeline running a FlowValve front end's policy."""
         app = FlowValveNicApp(frontend.labeler, frontend.scheduler)
         return cls(sim, config, app, receiver=receiver, on_drop=on_drop,
-                   wire_propagation=wire_propagation)
+                   wire_propagation=wire_propagation, boundary=boundary)
 
     # ------------------------------------------------------------------
     # ingress
@@ -336,13 +350,24 @@ class NicPipeline:
             # executed-event count drops). Off, each burst keeps its
             # own run so the fallback reproduces the PR 5 counts
             # exactly.
-            run = self._ingress_run
-            if run is None or run.cancelled:
-                run = self._ingress_run = EventRun()
-            self.sim._queue.merge_run(run, entries)
+            self.sim._queue.merge_run(self.ingress_run(), entries)
         else:
             self.sim._queue.push_run(entries)
         return rec
+
+    def ingress_run(self) -> EventRun:
+        """The shared fluid-mode ingress run, created/revived on demand.
+
+        Every producer that feeds this pipeline while the fluid lane is
+        on — local burst senders and remote barrier trains alike —
+        merges into this one run, so concurrent arrival streams cost
+        one drained segment instead of shredding each other into
+        per-item heap pops.
+        """
+        run = self._ingress_run
+        if run is None or run.cancelled:
+            run = self._ingress_run = EventRun()
+        return run
 
     def _burst_arrival(self, rec: _IngressBurst, t_emit: float) -> None:
         fluid = self._fluid

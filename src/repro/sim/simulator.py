@@ -51,6 +51,14 @@ class Simulator:
         #: Fast paths that pre-aggregate future work consult it so they
         #: never perform state changes the horizon would have cut off.
         self._horizon = float("inf")
+        #: Absolute time through which deferred event-free work (the
+        #: fluid lane's micro-queue) may be *carried across* back-to-back
+        #: ``run(until=...)`` calls. The sharded engine's window barriers
+        #: are pause points, not ends: steps maturing past a barrier
+        #: flush during the next window, so absorption may look through
+        #: barriers all the way to the simulation's final horizon. The
+        #: default (-inf) never extends a run's own horizon.
+        self.carry_horizon = float("-inf")
         #: Per-purpose deterministic random streams.
         self.random = RandomStreams(seed)
         #: Structured trace sink; NullTracer discards everything.

@@ -108,6 +108,10 @@ def _build_one(spec: SimulationSpec, dom: DomainSpec, single: bool) -> BuiltDoma
     built.registry = registry
 
     sim = Simulator(seed=domain_seed(setup.seed, dom.index), tracer=tracer, metrics=registry)
+    # Window barriers pause this simulator mid-horizon; deferred fluid
+    # work may be carried across them up to the spec's end (must be set
+    # before the pipeline constructs its fluid lane).
+    sim.carry_horizon = spec.duration
     built.sim = sim
     params = dom.nic.params if dom.nic.params is not None else (
         spec.params if spec.params is not None else setup.sched_params()
@@ -144,6 +148,15 @@ def _build_one(spec: SimulationSpec, dom: DomainSpec, single: bool) -> BuiltDoma
 
     local_receiver = None if dom.remote else receive
 
+    # A remote domain's egress terminates in another shard: construct
+    # the outbox up front (a plain record collector — no simulator or
+    # RNG interaction, so construction order stays deterministic) and
+    # hand it to the pipeline, which installs it as the wire's lazy
+    # sink. Installing at construction (rather than after, as the port
+    # branch still does) is what lets the fluid lane's guard see a lazy
+    # egress and engage on boundary NICs (DESIGN.md §11).
+    outbox = BoundaryOutbox(dom.name, dom.wire.dst) if dom.remote else None
+
     if frontend is not None:
         kwargs = {}
         if dom.wire is not None:
@@ -154,6 +167,7 @@ def _build_one(spec: SimulationSpec, dom: DomainSpec, single: bool) -> BuiltDoma
             frontend,
             receiver=local_receiver,
             on_drop=on_drop,
+            boundary=outbox,
             **kwargs,
         )
         built.nic = nic
@@ -181,9 +195,11 @@ def _build_one(spec: SimulationSpec, dom: DomainSpec, single: bool) -> BuiltDoma
         built.port = port
         built.submit = port.submit
 
-    if dom.remote:
-        outbox = BoundaryOutbox(dom.name, dom.wire.dst)
-        egress_link.enable_lazy_delivery(outbox)
+    if outbox is not None:
+        if built.nic is None:
+            # Software ports know nothing of boundaries; install the
+            # lazy route on their link directly.
+            egress_link.enable_lazy_delivery(outbox)
         built.outboxes.append(outbox)
 
     factory = PacketFactory(start_seq=dom.index * SEQ_BANK)
@@ -220,7 +236,7 @@ def _build_one(spec: SimulationSpec, dom: DomainSpec, single: bool) -> BuiltDoma
         )
         built.sampler = MetricsSampler(sim, registry, interval=interval)
 
-    built.ingress = RemoteIngress(sim, sink, receive)
+    built.ingress = RemoteIngress(sim, sink, receive, pipeline=built.nic)
     built.apps = tuple(app.name for app in dom.apps)
     return built
 
@@ -242,6 +258,7 @@ def summarize_domain(built: BuiltDomain, spec: SimulationSpec) -> DomainSummary:
             points.append((t, rate * scale))
             t += spec.bin_seconds
         series[app] = points
+    fluid_absorbed = fluid_spills = fluid_suspends = 0
     if built.nic is not None:
         submitted = built.nic.submitted
         dropped = built.nic.dropped
@@ -250,6 +267,11 @@ def summarize_domain(built: BuiltDomain, spec: SimulationSpec) -> DomainSummary:
             for reason, count in built.nic.drops_by_reason.items()
             if count
         }
+        lane = built.nic._fluid
+        if lane is not None:
+            fluid_absorbed = lane.absorbed
+            fluid_spills = lane.spills
+            fluid_suspends = lane.suspends
     else:
         submitted = built.port.submitted
         dropped = built.port.dropped
@@ -270,6 +292,9 @@ def summarize_domain(built: BuiltDomain, spec: SimulationSpec) -> DomainSummary:
         events=built.sim.events_executed,
         records=built.records,
         drop_records=built.drop_records,
+        fluid_absorbed=fluid_absorbed,
+        fluid_spills=fluid_spills,
+        fluid_suspends=fluid_suspends,
     )
 
 

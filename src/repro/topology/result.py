@@ -39,6 +39,12 @@ class DomainSummary:
     #: (app, seq, reason, repr(time)) per drop; None when not recording.
     records: Optional[List[tuple]] = None
     drop_records: Optional[List[tuple]] = None
+    #: Fluid fast-forward lane tallies (0 when the lane is off). Part
+    #: of the bench artifact so the regression gate can localize which
+    #: domain's lane disengaged, not just the event total.
+    fluid_absorbed: int = 0
+    fluid_spills: int = 0
+    fluid_suspends: int = 0
 
 
 @dataclass
@@ -80,6 +86,18 @@ class SimulationResult:
     def total_events(self) -> int:
         """Kernel events executed, summed over every domain simulator."""
         return sum(d.events for d in self.domains.values())
+
+    @property
+    def total_fluid_absorbed(self) -> int:
+        return sum(d.fluid_absorbed for d in self.domains.values())
+
+    @property
+    def total_fluid_spills(self) -> int:
+        return sum(d.fluid_spills for d in self.domains.values())
+
+    @property
+    def total_fluid_suspends(self) -> int:
+        return sum(d.fluid_suspends for d in self.domains.values())
 
     def throughput_bps(self, app: str) -> float:
         """Aggregate delivered nominal rate for *app* over the run."""

@@ -20,11 +20,12 @@ from repro.experiments.policies import motivation_policy
 from repro.experiments.workloads import motivation_demands
 from repro.host import FixedRateSender
 from repro.net import PacketFactory, PacketSink
+from repro.net.boundary import BoundaryOutbox
 from repro.nic import NicPipeline
 from repro.sim import Simulator
 
 
-def _world(*, fluid=True, on_drop=None, receiver=None):
+def _world(*, fluid=True, on_drop=None, receiver=None, boundary=None):
     setup = ScaledSetup(nominal_link_bps=10e9, scale=2000.0, wire_bps=10e9)
     sim = Simulator(seed=setup.seed)
     frontend = FlowValveFrontend(
@@ -34,10 +35,15 @@ def _world(*, fluid=True, on_drop=None, receiver=None):
     )
     sink = PacketSink(sim, rate_window=1.0, record_delays=False)
     cfg = replace(setup.nic_config(), fluid=fluid)
+    if boundary is not None:
+        recv = None  # boundary and receiver are mutually exclusive
+    else:
+        recv = receiver if receiver is not None else sink.receive
     nic = NicPipeline.with_flowvalve(
         sim, cfg, frontend,
-        receiver=receiver if receiver is not None else sink.receive,
+        receiver=recv,
         on_drop=on_drop,
+        boundary=boundary,
     )
     factory = PacketFactory()
     for index, (app, demand) in enumerate(
@@ -87,6 +93,49 @@ class TestConstructionGuard:
         assert nic.fast_path
         assert nic.submitted > 0
         assert sink.total_packets > 0
+
+
+class TestBoundaryEmission:
+    """Boundary egress (DESIGN.md §11): the lane engages when the wire
+    terminates in a :class:`BoundaryOutbox` and appends wire records at
+    the exact virtual serialisation-finish times the eventful path
+    would have committed."""
+
+    def test_boundary_sink_engages(self):
+        outbox = BoundaryOutbox("nic0", "nic1")
+        _, nic, _ = _world(boundary=outbox)
+        assert nic.link._lazy_sink is outbox
+        assert nic._fluid is not None
+
+    def test_drop_callback_still_disables_with_boundary(self):
+        drops = []
+        outbox = BoundaryOutbox("nic0", "nic1")
+        _, nic, _ = _world(boundary=outbox, on_drop=drops.append)
+        assert nic.link._lazy_sink is outbox
+        assert nic._fluid is None
+
+    def test_emitted_records_bit_identical_to_fluid_off(self):
+        # The emit half of the cross-boundary contract: the analytic
+        # epilogue's (time, seq, ...) tuples must equal the batched
+        # per-packet path's, field for field, float repr included.
+        on_box = BoundaryOutbox("nic0", "nic1")
+        sim_on, nic_on, _ = _world(boundary=on_box)
+        sim_on.run(until=1.0)
+        off_box = BoundaryOutbox("nic0", "nic1")
+        sim_off, nic_off, _ = _world(fluid=False, boundary=off_box)
+        sim_off.run(until=1.0)
+        assert nic_on._fluid is not None and nic_off._fluid is None
+        assert on_box.records, "boundary world must actually emit frames"
+        assert on_box.records == off_box.records
+        assert sim_on.events_executed < sim_off.events_executed
+
+    def test_records_commit_in_wire_order(self):
+        box = BoundaryOutbox("nic0", "nic1")
+        sim, nic, _ = _world(boundary=box)
+        sim.run(until=1.0)
+        assert nic._fluid.absorbed > 0
+        times = [record[0] for record in box.records]
+        assert times == sorted(times)
 
 
 class TestAbsorptionMechanics:

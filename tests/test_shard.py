@@ -12,6 +12,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
+from repro.net.boundary import WIRE_FLOW, BoundaryOutbox
+from repro.net.packet import Packet
 from repro.sim import BoundaryWire, ShardPlan
 from repro.sim.shard import route_records
 
@@ -192,3 +194,45 @@ class TestBarrierSplitProperty:
             (1, "d", [r for r in b if r[0] > barrier]),
         ]).get("d", [])
         assert first + second == whole
+
+    @settings(max_examples=200, deadline=None)
+    @given(_streams(), st.lists(st.integers(min_value=0, max_value=16),
+                                min_size=1, max_size=4))
+    def test_outbox_emission_order_survives_arbitrary_splits(
+        self, streams, barrier_steps
+    ):
+        """Boundary emission order survives any barrier placement.
+
+        Feed two outboxes through the real lazy-sink protocol
+        (``receive_later``, the exact call the link and the fluid
+        lane's epilogue make), drain them at an arbitrary ladder of
+        barriers, route each window's trains, and concatenate: the
+        result must equal routing one whole drain. Empty drains are
+        skipped, as ``_drain_shipments`` does, so the property also
+        pins that skipping a window's empty shipment can never perturb
+        the order.
+        """
+        a, b = streams
+        barriers = sorted({step * 0.25 for step in barrier_steps})
+        barriers.append(float("inf"))
+        boxes = (BoundaryOutbox("nic0", "d"), BoundaryOutbox("nic1", "d"))
+        whole = route_records([(0, "d", a), (1, "d", b)]).get("d", [])
+        fed = [0, 0]
+        spliced = []
+        for barrier in barriers:
+            shipments = []
+            for i, (box, stream) in enumerate(zip(boxes, (a, b))):
+                while fed[i] < len(stream) and stream[fed[i]][0] <= barrier:
+                    time, seq, size, created_at, app, vf_index = stream[fed[i]]
+                    box.receive_later(
+                        time,
+                        Packet(seq, size, WIRE_FLOW, created_at,
+                               app=app, vf_index=vf_index),
+                    )
+                    fed[i] += 1
+                train = box.drain()
+                if train:
+                    shipments.append((i, box.dst, train))
+            spliced.extend(route_records(shipments).get("d", []))
+        assert spliced == whole
+        assert all(not box.records for box in boxes)

@@ -18,14 +18,16 @@ from repro.experiments.workloads import motivation_demands
 from repro.topology import ScaledSetup, SimulationSpec, Topology
 
 
-def ring_spec(hosts, duration, *, scale=2000.0, prop=5e-5, **spec_kwargs):
+def ring_spec(hosts, duration, *, scale=2000.0, prop=5e-5, fluid=True,
+              **spec_kwargs):
     """A fig11-style ring: every host runs the motivation policy and
     demand timeline; NIC i's wire terminates at host (i+1) % hosts."""
     setup = ScaledSetup(scale=scale)
     demands = sorted(motivation_demands(setup.nominal_link_bps).items())
+    config = {} if fluid else {"fluid": False}
     topo = Topology()
     for i in range(hosts):
-        topo.nic(f"nic{i}", motivation_policy(setup.link_bps))
+        topo.nic(f"nic{i}", motivation_policy(setup.link_bps), **config)
         topo.host(f"host{i}", nic=f"nic{i}")
         for app, demand in demands:
             topo.app(f"host{i}", app, demand=demand)
@@ -101,6 +103,67 @@ class TestByteIdentity:
             "nic0's sink terminates nic1's wire; its deliveries must "
             "carry domain 1's sequence bank"
         )
+
+
+class TestFluidCrossProduct:
+    """ISSUE 9's identity matrix: fluid on/off x shards 1/2/4.
+
+    Within one fluid setting every shard count must be byte-identical —
+    *including* the kernel-event count, now that the carry horizon
+    makes absorption decisions window-invariant (DESIGN.md §11). Across
+    fluid settings every observable (records, drops, series, tallies)
+    must be identical too; only the event count drops when the lane
+    engages.
+    """
+
+    def test_record_streams_identical_across_matrix(self):
+        # collect_records installs a drop callback, which keeps the
+        # fluid lane off (recording wrappers are eventful) — so both
+        # config values exercise the construction guard and must land
+        # in the same per-packet world at every shard count.
+        runs = []
+        for fluid in (True, False):
+            spec = ring_spec(4, duration=1.0, collect_records=True, fluid=fluid)
+            for shards in (1, 2, 4):
+                runs.append(spec.with_shards(shards).run())
+        first = runs[0]
+        assert first.total_packets > 0
+        for other in runs[1:]:
+            assert_identical(first, other)
+
+    def test_fast_lane_matrix_tallies_and_event_counts(self):
+        # Without recording the lane engages (fluid on) or stays off
+        # (fluid off). Event counts — kernel *and* per-domain — plus the
+        # lane counters must be shard-invariant within each setting;
+        # tallies and series must agree across all six runs.
+        base_by_fluid = {}
+        for fluid in (True, False):
+            spec = ring_spec(4, duration=1.0, fluid=fluid)
+            base = spec.with_shards(1).run()
+            for shards in (2, 4):
+                other = spec.with_shards(shards).run()
+                assert other.total_events == base.total_events
+                assert other.total_packets == base.total_packets
+                for name in base.domains:
+                    left, right = base.domains[name], other.domains[name]
+                    assert left.series == right.series
+                    assert left.events == right.events
+                    assert (
+                        left.fluid_absorbed, left.fluid_spills, left.fluid_suspends
+                    ) == (
+                        right.fluid_absorbed, right.fluid_spills, right.fluid_suspends
+                    )
+            base_by_fluid[fluid] = base
+        on, off = base_by_fluid[True], base_by_fluid[False]
+        assert on.total_packets == off.total_packets > 0
+        assert on.total_submitted == off.total_submitted
+        assert on.total_dropped == off.total_dropped
+        for name in on.domains:
+            assert on.domains[name].series == off.domains[name].series
+        # The lane must actually engage on boundary NICs and pay off.
+        assert on.total_fluid_absorbed > 0
+        assert off.total_fluid_absorbed == 0
+        assert on.total_events < off.total_events
 
 
 class TestDegradedFallback:
