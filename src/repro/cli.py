@@ -160,6 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
              "the shard planner's lookahead (default 5e-5)",
     )
     simulate.add_argument(
+        "--workload", default=None, choices=("kvs", "ml", "web"),
+        help="drive each --app with the batched heavy-tailed trace "
+             "workload of this preset (Poisson flow arrivals, bounded-"
+             "Pareto sizes; DESIGN.md §12) through the full DES NIC "
+             "pipeline, instead of a constant-rate sender; the --app "
+             "RATE becomes the app's offered load. Single-host, "
+             "flowvalve-scheduler only",
+    )
+    simulate.add_argument(
         "--no-fluid", action="store_true",
         help="disable the fluid fast-forward lane (NicConfig.fluid=False). "
              "Every reported tally is bit-identical either way — the lane "
@@ -173,7 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out", default="BENCH_hotpath.json", metavar="JSON",
-        help="result artifact path (default BENCH_hotpath.json)",
+        help="result artifact path (default BENCH_hotpath.json; "
+             "BENCH_megaflow.json with --workload trace)",
+    )
+    bench.add_argument(
+        "--workload", default="hotpath", choices=("hotpath", "trace"),
+        help="bench workload: the fig11a hot path (default), or the "
+             "E-MEGAFLOW million-flow batched heavy-tailed trace "
+             "(--workload trace): deterministic counters on stdout, "
+             "wall time on stderr, and the artifact records the "
+             "workload so --baseline gates compare like with like",
     )
     bench.add_argument(
         "--profile", default=None, metavar="OUT.pstats",
@@ -317,6 +335,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     policy = _load_policy(args.script)
     link = parse_rate(args.link)
     demands = _parse_apps(args.app)
+    if getattr(args, "workload", None):
+        if args.hosts > 1 or args.shards > 1:
+            raise ReproError(
+                "--workload is single-host, single-shard only (one "
+                "trace engine drives one NIC pipeline)"
+            )
+        if getattr(args, "scheduler", "flowvalve") != "flowvalve":
+            raise ReproError(
+                "--workload requires the flowvalve scheduler (the trace "
+                "engine feeds the full DES NIC pipeline); "
+                f"--scheduler {args.scheduler} runs the crossbar runtime"
+            )
+        if args.trace or args.metrics:
+            raise ReproError(
+                "--trace/--metrics are not supported with --workload "
+                "(the trace engine's lazy trains bypass per-event "
+                "observability by design)"
+            )
+        return _cmd_simulate_workload(args, policy, link, demands)
     if args.hosts > 1 or args.shards > 1:
         if args.trace or args.metrics:
             raise ReproError(
@@ -471,6 +508,86 @@ def _cmd_simulate_nic(args: argparse.Namespace, policy, link: float, demands: Di
     return 0
 
 
+def _cmd_simulate_workload(args: argparse.Namespace, policy, link: float, demands: Dict[str, float]) -> int:
+    """``fv simulate --workload PRESET``: heavy-tailed trace demand.
+
+    Each ``--app NAME=RATE`` becomes a batched
+    :class:`~repro.host.TraceWorkload` (Poisson flow arrivals,
+    bounded-Pareto sizes — DESIGN.md §12) offering RATE through the
+    full DES NIC pipeline, instead of a backlogged constant-rate
+    sender. The sink runs in sketch mode, so the report stays
+    constant-memory at any flow count.
+    """
+    from dataclasses import replace as dc_replace
+
+    from .core import FlowValveFrontend
+    from .experiments.base import ScaledSetup
+    from .host import TraceWorkload, WORKLOAD_PRESETS
+    from .net import PacketSink
+    from .nic import NicPipeline
+    from .sim import Simulator
+
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive, got {args.scale}")
+    setup = ScaledSetup.for_link(link, scale=args.scale, seed=args.seed)
+    sim = Simulator(seed=setup.seed)
+    frontend = FlowValveFrontend(
+        policy, link_rate_bps=setup.link_bps, params=setup.sched_params()
+    )
+    sink = PacketSink(
+        sim, rate_window=1.0, record_delays=True,
+        stats_mode="sketch", fold_interval=1.0,
+    )
+    nic = NicPipeline.with_flowvalve(
+        sim,
+        setup.nic_config(
+            fluid=not args.no_fluid, fluid_classify=not args.no_fluid
+        ),
+        frontend,
+        receiver=sink.receive,
+    )
+    factory = PacketFactory()
+    preset = WORKLOAD_PRESETS[args.workload]
+    profile = dc_replace(
+        preset, flow_rate_limit_bps=preset.flow_rate_limit_bps / setup.scale
+    )
+    workloads = [
+        TraceWorkload(
+            sim, app, profile, demands[app] / setup.scale, nic.submit,
+            factory, vf_index=index, duration=args.duration, mode="batched",
+        )
+        for index, app in enumerate(sorted(demands))
+    ]
+    sim.run(until=args.duration)
+
+    elapsed = args.duration if args.duration > 0 else float("inf")
+    print(
+        f"simulated {args.duration:.1f}s at link {format_rate(link)} "
+        f"(workload={args.workload}, scale=1/{setup.scale:g}, "
+        f"seed={setup.seed}):"
+    )
+    for app in sorted(demands):
+        achieved = sink.bytes[app] * 8 / elapsed * setup.scale
+        print(
+            f"  {app:>8s}: offered {format_rate(demands[app]):>12s}"
+            f"  achieved {format_rate(achieved):>12s}"
+        )
+    total = sink.total_bytes * 8 / elapsed * setup.scale
+    print(f"  {'total':>8s}: {format_rate(total):>12s}")
+    print(
+        f"  flows: started={sum(w.flows_started for w in workloads)} "
+        f"completed={sum(w.flows_completed for w in workloads)} "
+        f"windows={sum(w.windows_generated for w in workloads)}"
+    )
+    delay = sink.latency_summary().scaled(1.0 / setup.scale)
+    print(
+        f"  delay: p50={delay.p50 * 1e6:.1f}us p99={delay.p99 * 1e6:.1f}us "
+        f"(nominal, sketch)"
+    )
+    print(f"  {nic.stats_summary()}")
+    return 0
+
+
 def _cmd_simulate_fabric(args: argparse.Namespace, policy, link: float, demands: Dict[str, float]) -> int:
     """``fv simulate --hosts N [--shards K]``: the sharded fabric.
 
@@ -609,7 +726,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # point is the recorded reference config (seed 7, scale 200, 20 s).
     shards = getattr(args, "shards", 1)
     hosts = getattr(args, "hosts", 8)
+    workload = getattr(args, "workload", "hotpath")
     fabric_mode = shards > 1
+    trace_mode = workload == "trace"
+    if fabric_mode and trace_mode:
+        raise ReproError(
+            "--workload trace is single-NIC only (the megaflow trace "
+            "engine drives one pipeline); drop --shards"
+        )
     seed = getattr(args, "seed", hotpath.DEFAULT_SETUP.seed)
     repeat = getattr(args, "repeat", 1)
     if fabric_mode:
@@ -617,9 +741,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         scale = getattr(args, "scale", fabric.DEFAULT_SETUP.scale)
         duration = getattr(args, "duration", 2.0)
+    elif trace_mode:
+        from .experiments import megaflow
+
+        scale = getattr(args, "scale", megaflow.DEFAULT_SETUP.scale)
+        duration = getattr(args, "duration", megaflow.DEFAULT_DURATION)
     else:
         scale = getattr(args, "scale", hotpath.DEFAULT_SETUP.scale)
         duration = getattr(args, "duration", hotpath.DEFAULT_DURATION)
+    # The artifact name follows the workload unless the user chose one.
+    out = args.out
+    if trace_mode and out == "BENCH_hotpath.json":
+        out = "BENCH_megaflow.json"
     if scale <= 0:
         raise ReproError(f"--scale must be positive, got {scale}")
     if duration <= 0:
@@ -669,6 +802,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     ),
                 )
             )
+    elif trace_mode:
+        mf_setup = dc_replace(megaflow.DEFAULT_SETUP, scale=scale, seed=seed)
+        for _ in range(repeat):
+            if profiler is not None:
+                mr = profiler.runcall(
+                    megaflow.run, mf_setup, duration=duration
+                )
+            else:
+                mr = megaflow.run(mf_setup, duration=duration)
+            results.append(mr.perf)
     else:
         setup = dc_replace(hotpath.DEFAULT_SETUP, scale=scale, seed=seed)
         label = f"fig11a-scale{setup.scale:g}-{duration:g}s"
@@ -701,16 +844,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         events_per_sec=first.events / wall_median if wall_median > 0 else 0.0,
         packets_per_sec=first.packets / wall_median if wall_median > 0 else 0.0,
     )
-    print(result.summary())
-    if repeat > 1:
+    if trace_mode:
+        # Everything on stdout is deterministic for a fixed seed (the
+        # fabric-simulate convention); wall-clock facts go to stderr so
+        # two runs can be diff-checked: `fv bench --workload trace
+        # 2>/dev/null`.
         print(
-            f"repeats: {repeat} (wall median={wall_median:.2f}s "
-            f"min={wall_min:.2f}s)"
+            f"megaflow[{result.label}]: events={result.events} "
+            f"packets={result.packets} "
+            f"events/packet={result.events_per_packet:.3f}"
         )
+        print(
+            f"  flows={mr.flows} completed={mr.flows_completed} "
+            f"delivered={mr.delivered} dropped={mr.dropped} "
+            f"windows={mr.windows}"
+        )
+        print(
+            f"  emc: hits={mr.emc_hits} misses={mr.emc_misses} "
+            f"evictions={mr.emc_evictions} "
+            f"hit_ratio={mr.emc_hit_ratio:.3f}"
+        )
+        print(
+            f"  delay: p50={mr.delay.p50 * 1e6:.1f}us "
+            f"p99={mr.delay.p99 * 1e6:.1f}us (nominal) "
+            f"sketch_bins={mr.sketch_bins}"
+        )
+        print(
+            f"wall={wall_median:.2f}s peak_rss="
+            f"{mr.peak_rss_kib // 1024}MiB repeats={repeat}",
+            file=sys.stderr,
+        )
+    else:
+        print(result.summary())
+        if repeat > 1:
+            print(
+                f"repeats: {repeat} (wall median={wall_median:.2f}s "
+                f"min={wall_min:.2f}s)"
+            )
 
     extra = {
         "seed": seed,
         "shards": shards,
+        "workload": workload,
         "workers": workers,
         "repeat": repeat,
         "wall_seconds_all": [r.wall_seconds for r in results],
@@ -739,6 +914,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # Contiguous-block partition, mirroring ShardPlan.build.
             "shard_events": shard_events,
         })
+    elif trace_mode:
+        # Flow/cache/sketch tallies — deterministic, same in every
+        # repeat (peak RSS is process-lifetime, recorded for the bench
+        # memory bound rather than the gate).
+        extra.update(mr.extra())
     else:
         # Seed-code reference ratios only make sense for the canonical
         # single-NIC hot-path workload.
@@ -766,14 +946,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "cpu_count": os.cpu_count(),
         },
     })
-    write_json(args.out, result, extra=extra)
-    print(f"artifact: {args.out}")
+    write_json(out, result, extra=extra)
+    print(f"artifact: {out}")
     if args.profile:
         print(f"profile: {args.profile}")
 
     if args.baseline is not None:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
+        base_workload = baseline.get("workload", "hotpath")
+        if base_workload != workload:
+            # Same reasoning as the shards skip below: the hot path and
+            # the megaflow trace have different events/packet ratios by
+            # design, so a cross-workload comparison means nothing.
+            print(
+                f"baseline {args.baseline}: recorded for workload="
+                f"{base_workload}, this run used --workload {workload}; "
+                "skipping the events/packet gate (ratios only compare "
+                "like with like)"
+            )
+            return 0
         base_shards = baseline.get("shards", 1)
         if base_shards != shards:
             # Different workloads (single-NIC hot path vs. sharded

@@ -33,6 +33,7 @@ from .workloads import (
     weighted_demands,
 )
 from .fabric import FabricResult, run_fabric_sweep
+from .megaflow import MegaflowResult, run_megaflow
 from .fig03 import run_fig03
 from .fig11 import run_fig11a, run_fig11b, run_fig11c
 from .fig13 import Fig13Result, Fig13Row, run_fig13
@@ -66,6 +67,8 @@ __all__ = [
     "weighted_demands",
     "FabricResult",
     "run_fabric_sweep",
+    "MegaflowResult",
+    "run_megaflow",
     "run_fig03",
     "run_fig11a",
     "run_fig11b",

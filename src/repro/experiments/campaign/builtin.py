@@ -15,7 +15,7 @@ from typing import Optional
 
 from ...errors import TransientError
 from ...stats.report import Table
-from .. import ablations, cpu_cores, crossbar, fabric, fig03, fig11, fig13, fig14, hotpath, tcp_realism
+from .. import ablations, cpu_cores, crossbar, fabric, fig03, fig11, fig13, fig14, hotpath, megaflow, tcp_realism
 from ..base import ScaledSetup
 from .spec import REGISTRY, register
 
@@ -145,6 +145,12 @@ def _register_builtins() -> None:
         grid={"scheduler": ["flowvalve", "wfq"], "workload": ["motivation"]},
         defaults={"duration": 20.0, "backend": "pifo"},
         schema={"series": dict},
+    )
+    register(
+        "megaflow", megaflow.run,
+        description="E-MEGAFLOW — million-flow batched trace engine on the fluid lane",
+        defaults={"duration": megaflow.DEFAULT_DURATION},
+        schema={"flows": int, "perf": None},
     )
     register(
         "fabric_sweep", fabric.run,

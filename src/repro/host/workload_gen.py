@@ -9,14 +9,37 @@ synthetic stand-in for published DC traffic studies. Each flow is sent
 as a paced packet train through any ``submit`` target (the NIC, a
 kernel runtime, ...).
 
+Two generation engines share one statistical model (DESIGN.md §12):
+
+* ``mode="process"`` — the reference engine: one simulation process
+  per flow, one event per packet. Simple, and the semantic yardstick,
+  but a million flows would mean a million generator frames.
+* ``mode="batched"`` (default) — the trace engine: a single windowed
+  process pre-draws every flow arrival and emission instant for the
+  next horizon window with the *exact* RNG-draw and float-op order of
+  the per-flow engine, then hands the whole window to the target as
+  one pre-merged train (``NicPipeline.submit_trace``) or one run-lane
+  train. Packet streams are bit-identical between the engines; only
+  kernel-event counts differ. Flow/byte tallies are folded lazily
+  from per-window ledgers, so observation memory stays at one window
+  regardless of flow count.
+
 Presets (:data:`WORKLOAD_PRESETS`) give the three motivating app types
 distinct mixes; :class:`TraceWorkload` drives one app's flow process.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+try:  # vectorized emission chains; pure-python fallback below
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dep
+    _np = None
 
 from ..net.flow import FiveTuple
 from ..net.packet import Packet, PacketFactory
@@ -77,6 +100,43 @@ class FlowSpec:
     start_time: float
 
 
+class _WindowLedger:
+    """Lazy flow/byte tallies for one generated window.
+
+    The batched engine submits a window's emissions before their
+    instants pass, so eager counters would run ahead of the clock.
+    Instead each window keeps sorted instant arrays and an inclusive
+    payload prefix sum; observers bisect against ``sim.now`` and fully
+    elapsed ledgers fold into scalar bases and are dropped — constant
+    observation memory in the flow count.
+    """
+
+    __slots__ = ("times", "payload_cum", "starts", "ends", "last")
+
+    def __init__(
+        self,
+        times: List[float],
+        payload_cum: List[int],
+        starts: List[float],
+        ends: List[float],
+    ):
+        self.times = times
+        self.payload_cum = payload_cum
+        self.starts = starts
+        self.ends = ends
+        last = times[-1] if times else float("-inf")
+        if starts and starts[-1] > last:
+            last = starts[-1]
+        if ends and ends[-1] > last:
+            last = ends[-1]
+        self.last = last
+
+
+#: Largest vectorized emission chain computed at once (bounds the
+#: transient chunk an in-window elephant flow allocates).
+_MAX_CHAIN = 1 << 20
+
+
 class TraceWorkload:
     """Poisson flow arrivals with bounded-Pareto sizes for one app.
 
@@ -92,6 +152,11 @@ class TraceWorkload:
     vf_index: virtual function the app sends through.
     duration: stop generating new flows after this time (existing
         flows finish).
+    mode: ``"batched"`` (windowed trace engine, the default) or
+        ``"process"`` (one process per flow — the reference engine).
+        Packet streams are bit-identical; see the module docstring.
+    window: batched-engine horizon window in seconds. Defaults to
+        ~64 Ki emission instants' worth at the offered load.
     """
 
     def __init__(
@@ -105,9 +170,13 @@ class TraceWorkload:
         vf_index: int = 0,
         duration: Optional[float] = None,
         dst_ip: str = "10.0.1.1",
+        mode: str = "batched",
+        window: Optional[float] = None,
     ):
         if offered_load_bps <= 0:
             raise ValueError("offered load must be positive")
+        if mode not in ("batched", "process"):
+            raise ValueError(f"mode must be 'batched' or 'process', got {mode!r}")
         self.sim = sim
         self.app = app
         self.profile = profile
@@ -117,14 +186,53 @@ class TraceWorkload:
         self.vf_index = vf_index
         self.duration = duration
         self.dst_ip = dst_ip
+        self.mode = mode
         self._rng = sim.random.stream(f"workload:{app}")
-        #: Flows started / completed (a flow completes when its last
-        #: packet has been *submitted*; delivery is the network's job).
-        self.flows_started = 0
-        self.flows_completed = 0
-        self.bytes_offered = 0
+        # Flow/byte tallies. A flow completes when its last packet has
+        # been *submitted*; delivery is the network's job. In batched
+        # mode these are bases under the ledger fold (see properties).
+        self._started_base = 0
+        self._completed_base = 0
+        self._offered_base = 0
         self._flow_seq = 0
-        sim.process(self._arrivals())
+        self._psize = profile.packet_size
+        self._gap = profile.packet_size * 8.0 / profile.flow_rate_limit_bps
+        # Batched-engine state.
+        self._ledgers: "deque[_WindowLedger]" = deque()
+        #: Active pacing cursors: [next_instant, packets_left, flow,
+        #: last_packet_payload] — one four-slot list per in-flight flow.
+        self._cursors: List[List] = []
+        self._pending: Optional[Tuple[float, int]] = None
+        self._arr_time = 0.0
+        self._arr_done = False
+        self._lam = self.flow_arrival_rate
+        #: Horizon windows generated so far (diagnostic).
+        self.windows_generated = 0
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if window is None:
+            window = max(
+                64 * self._gap,
+                65536 * profile.packet_size * 8.0 / offered_load_bps,
+            )
+        self.window = window
+        # Batched ingress: hand whole windows to a trace-capable NIC
+        # (same owner detection as FixedRateSender's burst path); any
+        # other target gets per-item run-lane callbacks — still one
+        # heap operation per window, minted at the exact instants.
+        owner = getattr(submit, "__self__", None)
+        self._trace_target = (
+            owner
+            if owner is not None
+            and getattr(owner, "ingress_burst", 0) > 0
+            and hasattr(owner, "submit_trace")
+            else None
+        )
+        if mode == "process":
+            sim.process(self._arrivals())
+        else:
+            self._window_start = sim.now
+            sim.schedule_at(sim.now, self._window_step)
 
     # ------------------------------------------------------------------
     @property
@@ -139,7 +247,7 @@ class TraceWorkload:
         a = self.profile.pareto_alpha
         lo, hi = self.profile.min_flow_bytes, self.profile.max_flow_bytes
         if a == 1.0:
-            return lo * hi / (hi - lo) * __import__("math").log(hi / lo)
+            return lo * hi / (hi - lo) * math.log(hi / lo)
         return (lo ** a) / (1 - (lo / hi) ** a) * a / (a - 1) * (
             1 / (lo ** (a - 1)) - 1 / (hi ** (a - 1))
         )
@@ -153,6 +261,62 @@ class TraceWorkload:
         x = (-(u * (hi ** a) - u * (lo ** a) - (hi ** a)) / ((hi * lo) ** a)) ** (-1.0 / a)
         return max(int(lo), min(int(hi), int(x)))
 
+    def _mint_flow(self) -> FiveTuple:
+        self._flow_seq += 1
+        seq = self._flow_seq
+        return FiveTuple(
+            f"10.{self.vf_index}.{(seq >> 8) & 0xFF}.{seq & 0xFF}",
+            self.dst_ip,
+            10_000 + (seq % 50_000),
+            5001,
+        )
+
+    # ------------------------------------------------------------------
+    # tallies (ledger-folded in batched mode, plain bases otherwise)
+    # ------------------------------------------------------------------
+    def _fold(self) -> None:
+        """Retire ledgers whose every instant has elapsed."""
+        now = self.sim._now
+        ledgers = self._ledgers
+        while ledgers and ledgers[0].last <= now:
+            led = ledgers.popleft()
+            self._started_base += len(led.starts)
+            self._completed_base += len(led.ends)
+            if led.payload_cum:
+                self._offered_base += led.payload_cum[-1]
+
+    @property
+    def flows_started(self) -> int:
+        self._fold()
+        now = self.sim._now
+        n = self._started_base
+        for led in self._ledgers:
+            n += bisect_right(led.starts, now)
+        return n
+
+    @property
+    def flows_completed(self) -> int:
+        self._fold()
+        now = self.sim._now
+        n = self._completed_base
+        for led in self._ledgers:
+            n += bisect_right(led.ends, now)
+        return n
+
+    @property
+    def bytes_offered(self) -> int:
+        self._fold()
+        now = self.sim._now
+        total = self._offered_base
+        for led in self._ledgers:
+            index = bisect_right(led.times, now)
+            if index:
+                total += led.payload_cum[index - 1]
+        return total
+
+    # ------------------------------------------------------------------
+    # reference engine: one process per flow
+    # ------------------------------------------------------------------
     def _arrivals(self):
         lam = self.flow_arrival_rate
         while self.duration is None or self.sim.now < self.duration:
@@ -162,14 +326,8 @@ class TraceWorkload:
             self._start_flow()
 
     def _start_flow(self) -> None:
-        self._flow_seq += 1
-        self.flows_started += 1
-        flow = FiveTuple(
-            f"10.{self.vf_index}.{(self._flow_seq >> 8) & 0xFF}.{self._flow_seq & 0xFF}",
-            self.dst_ip,
-            10_000 + (self._flow_seq % 50_000),
-            5001,
-        )
+        self._started_base += 1
+        flow = self._mint_flow()
         size = self.sample_flow_size()
         self.sim.process(self._send_flow(flow, size))
 
@@ -182,8 +340,178 @@ class TraceWorkload:
             packet = self.factory.make(
                 max(64, payload), flow, self.sim.now, app=self.app, vf_index=self.vf_index
             )
-            self.bytes_offered += payload
+            self._offered_base += payload
             self.submit(packet)
             remaining -= payload
             yield gap
-        self.flows_completed += 1
+        self._completed_base += 1
+
+    # ------------------------------------------------------------------
+    # trace engine: horizon-windowed batch generation
+    # ------------------------------------------------------------------
+    def _next_flow(self) -> Optional[Tuple[float, int]]:
+        """Draw the next (arrival, size) pair — the exact RNG-draw
+        order of :meth:`_arrivals`: one expovariate per candidate
+        arrival, one size draw per arrival that lands inside the
+        duration, and the terminal overshoot expovariate unpaired."""
+        if self._arr_done:
+            return None
+        d = self.duration
+        t = self._arr_time
+        if d is not None and t >= d:
+            # The reference engine's while-condition: with duration
+            # <= 0 not even the first expovariate is drawn.
+            self._arr_done = True
+            return None
+        t = self._arr_time = t + self._rng.expovariate(self._lam)
+        if d is not None and t >= d:
+            self._arr_done = True
+            return None
+        return t, self.sample_flow_size()
+
+    def _window_step(self) -> None:
+        start = self._window_start
+        end = start + self.window
+        self.windows_generated += 1
+        self._emit_window(start, end)
+        self._window_start = end
+        if not self._arr_done or self._cursors or self._pending is not None:
+            self.sim.schedule_at(end, self._window_step)
+
+    def _emit_window(self, start: float, end: float) -> None:
+        """Generate and submit every emission instant in [start, end)."""
+        # 1. Admit arrivals landing inside this window as cursors. One
+        #    drawn pair may overshoot the window: it is held (drawing
+        #    ahead in the same stream keeps the sequence order) and
+        #    admitted by the window that contains it.
+        cursors = self._cursors
+        psize = self._psize
+        starts: List[float] = []
+        ends: List[float] = []
+        while True:
+            nxt = self._pending
+            if nxt is not None:
+                self._pending = None
+            else:
+                nxt = self._next_flow()
+                if nxt is None:
+                    break
+            if nxt[0] >= end:
+                self._pending = nxt
+                break
+            t0, size = nxt
+            flow = self._mint_flow()
+            starts.append(t0)
+            n_pkts = -(-size // psize)
+            if n_pkts == 0:
+                ends.append(t0)  # degenerate zero-byte flow
+                continue
+            cursors.append([t0, n_pkts, flow, size - (n_pkts - 1) * psize])
+        if not cursors:
+            if starts:
+                self._ledgers.append(_WindowLedger([], [], starts, ends))
+            return
+        # 2. Walk each cursor's pacing chain through the window. The
+        #    chain is the same left-to-right float accumulation the
+        #    per-flow engine performs one yield at a time, vectorized
+        #    when numpy is present (``np.add.accumulate`` runs the
+        #    identical adds, so every instant is bit-identical).
+        gap = self._gap
+        mint_full = psize if psize >= 64 else 64
+        times_all: List[float] = []
+        flows_all: List[FiveTuple] = []
+        mints_all: List[int] = []
+        payloads_all: List[int] = []
+        keep: List[List] = []
+        for cur in cursors:
+            t = cur[0]
+            if t >= end:
+                keep.append(cur)
+                continue
+            n_left = cur[1]
+            flow = cur[2]
+            ts: List[float] = []
+            while n_left > 0 and t < end:
+                if _np is not None and n_left >= 32:
+                    est = int((end - t) / gap) + 2
+                    m = min(n_left, est, _MAX_CHAIN)
+                    chain = _np.add.accumulate(
+                        _np.concatenate(((t,), _np.full(m - 1, gap)))
+                    )
+                    k = int(_np.searchsorted(chain, end, side="left"))
+                    if k:
+                        ts.extend(chain[:k].tolist())
+                    n_left -= k
+                    if k < m:
+                        t = float(chain[k])
+                        break
+                    t = float(chain[-1]) + gap
+                else:
+                    ts.append(t)
+                    t = t + gap
+                    n_left -= 1
+            cur[0] = t
+            cur[1] = n_left
+            n_emit = len(ts)
+            times_all.extend(ts)
+            flows_all.extend([flow] * n_emit)
+            if n_left == 0:
+                # The flow's final packet fell in this window: it
+                # carries the size remainder; every other packet is a
+                # full payload.
+                ends.append(ts[-1])
+                last_payload = cur[3]
+                mints_all.extend([mint_full] * (n_emit - 1))
+                mints_all.append(last_payload if last_payload >= 64 else 64)
+                payloads_all.extend([psize] * (n_emit - 1))
+                payloads_all.append(last_payload)
+            else:
+                keep.append(cur)
+                mints_all.extend([mint_full] * n_emit)
+                payloads_all.extend([psize] * n_emit)
+        self._cursors = keep
+        # 3. Merge every flow's instants into one time-sorted train.
+        #    Stable sorts keep equal-instant ties in flow-start order.
+        n = len(times_all)
+        if n == 0:
+            if starts:
+                self._ledgers.append(_WindowLedger([], [], starts, ends))
+            return
+        if _np is not None and n > 64:
+            order = _np.argsort(_np.asarray(times_all), kind="stable").tolist()
+        else:
+            order = sorted(range(n), key=times_all.__getitem__)
+        times_sorted = [times_all[j] for j in order]
+        flows_sorted = [flows_all[j] for j in order]
+        mints_sorted = [mints_all[j] for j in order]
+        payload_cum: List[int] = []
+        total = 0
+        for j in order:
+            total += payloads_all[j]
+            payload_cum.append(total)
+        ends.sort()
+        self._ledgers.append(
+            _WindowLedger(times_sorted, payload_cum, starts, ends)
+        )
+        # 4. Submit: one pre-merged trace train to a capable NIC, or
+        #    one run-lane train of exact-instant mint callbacks.
+        target = self._trace_target
+        if target is not None:
+            target.submit_trace(
+                self.factory.make, times_sorted, flows_sorted, mints_sorted,
+                self.app, self.vf_index,
+            )
+        else:
+            emit = self._emit_one
+            self.sim._queue.push_run(
+                [
+                    (times_sorted[j], emit, (mints_sorted[j], flows_sorted[j]))
+                    for j in range(n)
+                ]
+            )
+
+    def _emit_one(self, size: int, flow: FiveTuple) -> None:
+        packet = self.factory.make(
+            size, flow, self.sim._now, app=self.app, vf_index=self.vf_index
+        )
+        self.submit(packet)

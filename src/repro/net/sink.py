@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..stats.latency import LatencySummary, summarize_latencies
+from ..stats.sketch import QuantileSketch, WindowedRateSketch
 from ..stats.timeseries import RateSeries
 from .packet import Packet
 
@@ -40,6 +42,23 @@ class PacketSink:
         (used to drive TCP ack feedback).
     record_delays: keep every one-way delay sample (memory grows with
         traffic; disable for long stress runs).
+    stats_mode: ``"exact"`` (default — a list per delay sample, a rate
+        bin per elapsed window) or ``"sketch"`` (constant memory in
+        the packet count and run length: delays stream into
+        :class:`~repro.stats.sketch.QuantileSketch` instances with
+        *sketch_error* relative quantile accuracy, rates into
+        :class:`~repro.stats.sketch.WindowedRateSketch` rings). Packet
+        and byte tallies stay exact either way; :meth:`latency_summary`
+        works in both modes.
+    sketch_error: relative quantile error ε of sketch-mode delays.
+    fold_interval: if set, lazily-recorded deliveries are folded into
+        the tallies at least this often (one kernel event per interval
+        while traffic flows, none when drained). Without it the lazy
+        route buffers every ``(time, packet)`` pair until the *next
+        observation* — correct, but a run that never looks at the sink
+        mid-flight holds its entire delivered traffic in memory. The
+        megaflow bench sets this to keep peak RSS constant in the
+        packet count.
     """
 
     def __init__(
@@ -49,10 +68,23 @@ class PacketSink:
         on_delivery: Optional[Callable[[Packet], None]] = None,
         record_delays: bool = True,
         delay_start: float = 0.0,
+        stats_mode: str = "exact",
+        sketch_error: float = 0.005,
+        fold_interval: Optional[float] = None,
     ):
+        if fold_interval is not None and fold_interval <= 0:
+            raise ValueError(
+                f"fold_interval must be positive, got {fold_interval}"
+            )
+        if stats_mode not in ("exact", "sketch"):
+            raise ValueError(
+                f"stats_mode must be 'exact' or 'sketch', got {stats_mode!r}"
+            )
         self.sim = sim
         self.on_delivery = on_delivery
         self.record_delays = record_delays
+        self.stats_mode = stats_mode
+        self.sketch_error = sketch_error
         #: Delay samples before this time are discarded (warm-up cut).
         self.delay_start = delay_start
         self._packets: Dict[str, int] = defaultdict(int)
@@ -60,6 +92,11 @@ class PacketSink:
         self._rates: Dict[str, RateSeries] = {}
         self._delays: List[float] = []
         self._delays_by_app: Dict[str, List[float]] = defaultdict(list)
+        self._sketch = stats_mode == "sketch"
+        self._delay_sketch: Optional[QuantileSketch] = None
+        self._sketches_by_app: Dict[str, QuantileSketch] = {}
+        if self._sketch:
+            self._delay_sketch = QuantileSketch(relative_error=sketch_error)
         self._rate_window = rate_window
         self._total_packets = 0
         self._total_bytes = 0
@@ -67,6 +104,8 @@ class PacketSink:
         #: non-decreasing (one link feeds the lazy route, FIFO wire).
         self._pending: Deque[Tuple[float, Packet]] = deque()
         self._drain_hook_registered = False
+        self._fold_interval = fold_interval
+        self._fold_armed = False
         # Observability: one identity check per delivery when off.
         tracer = sim.tracer
         self._trace = tracer if tracer.enabled else None
@@ -96,7 +135,20 @@ class PacketSink:
             self.sim.add_drain_hook(
                 lambda: self._pending[-1][0] if self._pending else None
             )
+        if self._fold_interval is not None and not self._fold_armed:
+            # Re-armed on the first pending delivery after a drain, so
+            # the periodic fold never keeps an otherwise-empty event
+            # queue alive.
+            self._fold_armed = True
+            self.sim.schedule(self._fold_interval, self._periodic_fold)
         self._pending.append((time, packet))
+
+    def _periodic_fold(self) -> None:
+        self._fold()
+        if self._pending:
+            self.sim.schedule(self._fold_interval, self._periodic_fold)
+        else:
+            self._fold_armed = False
 
     def _account(self, packet: Packet, now: float) -> None:
         app = packet.app
@@ -107,13 +159,26 @@ class PacketSink:
         self._total_bytes += size
         series = self._rates.get(app)
         if series is None:
-            series = RateSeries(window=self._rate_window)
+            series = (
+                WindowedRateSketch(window=self._rate_window)
+                if self._sketch
+                else RateSeries(window=self._rate_window)
+            )
             self._rates[app] = series
         series.add(now, size * 8)
         if self.record_delays and packet.created_at >= 0 and now >= self.delay_start:
             delay = now - packet.created_at
-            self._delays.append(delay)
-            self._delays_by_app[app].append(delay)
+            if self._sketch:
+                self._delay_sketch.add(delay)
+                sketch = self._sketches_by_app.get(app)
+                if sketch is None:
+                    sketch = self._sketches_by_app[app] = QuantileSketch(
+                        relative_error=self.sketch_error
+                    )
+                sketch.add(delay)
+            else:
+                self._delays.append(delay)
+                self._delays_by_app[app].append(delay)
         if self._trace is not None:
             self._trace.emit(
                 now, "net.sink", "deliver",
@@ -167,15 +232,64 @@ class PacketSink:
 
     @property
     def delays(self) -> List[float]:
-        """One-way delay samples in seconds (all apps pooled)."""
+        """One-way delay samples in seconds (all apps pooled).
+
+        Exact mode only — sketch mode keeps no sample list; use
+        :meth:`latency_summary` or :meth:`delay_sketch` instead.
+        """
+        if self._sketch:
+            raise ValueError(
+                "sketch-mode sink keeps no delay sample list; "
+                "use latency_summary() / delay_sketch()"
+            )
         self._fold()
         return self._delays
 
     @property
     def delays_by_app(self) -> Dict[str, List[float]]:
-        """One-way delay samples per app name."""
+        """One-way delay samples per app name (exact mode only)."""
+        if self._sketch:
+            raise ValueError(
+                "sketch-mode sink keeps no delay sample lists; "
+                "use latency_summary(app) / delay_sketch(app)"
+            )
         self._fold()
         return self._delays_by_app
+
+    def delay_sketch(self, app: Optional[str] = None) -> QuantileSketch:
+        """The streaming delay sketch (sketch mode only): pooled, or
+        one app's. The sketch's ``bin_count`` is the sink's entire
+        variable delay-stats footprint — the megaflow bench asserts it
+        stays bounded while millions of samples stream through."""
+        if not self._sketch:
+            raise ValueError("delay_sketch() requires stats_mode='sketch'")
+        self._fold()
+        if app is None:
+            return self._delay_sketch
+        sketch = self._sketches_by_app.get(app)
+        if sketch is None:
+            sketch = self._sketches_by_app[app] = QuantileSketch(
+                relative_error=self.sketch_error
+            )
+        return sketch
+
+    def latency_summary(self, app: Optional[str] = None) -> LatencySummary:
+        """One-way delay statistics, pooled or per app — mode-blind.
+
+        Exact mode summarises the kept sample list (one sort); sketch
+        mode reads the streaming sketch (count/mean/min/max/jitter
+        exact, p50/p99 within ``sketch_error`` relative error).
+        """
+        self._fold()
+        if self._sketch:
+            if app is None:
+                return self._delay_sketch.summary()
+            sketch = self._sketches_by_app.get(app)
+            return sketch.summary() if sketch is not None else LatencySummary(
+                0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0
+            )
+        samples = self._delays if app is None else self._delays_by_app.get(app, [])
+        return summarize_latencies(samples)
 
     @property
     def total_packets(self) -> int:

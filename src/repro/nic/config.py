@@ -116,6 +116,18 @@ class NicConfig:
     #: with tracing/metrics, the slow path, drop callbacks, or an
     #: eventful sink. Set False to force per-packet processing.
     fluid: bool = True
+    #: Allow the fluid lane to absorb EMC-*miss* packets too, by
+    #: replaying the classification walk (rule match, cache insert,
+    #: miss-path cycle cost) analytically at its virtual time — the
+    #: same states and timestamps the trylock fast handler produces,
+    #: so outcomes stay bit-identical to the per-packet path. Off by
+    #: default: absorption decisions change which packets ride the
+    #: lane, which changes *kernel event counts* (never results), and
+    #: the recorded hot-path/fabric budgets pin the default lane.
+    #: Million-flow trace runs turn this on — every flow's first
+    #: packet is an EMC miss, and a spill per flow suspends the lane
+    #: (DESIGN.md §12).
+    fluid_classify: bool = False
     #: Per-operation cycle budgets.
     costs: CycleCosts = field(default_factory=CycleCosts)
     #: Memory hierarchy (documentation + latency-hiding math).

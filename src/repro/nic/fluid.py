@@ -152,6 +152,14 @@ class FluidLane:
         #: the topology builder sets it to the spec duration before the
         #: pipeline is constructed).
         self._carry = sim.carry_horizon
+        #: Absorb EMC-miss packets by replaying the classification walk
+        #: analytically (config.fluid_classify — the million-flow trace
+        #: regime, where every flow's first packet misses).
+        self._absorb_miss = pipeline.config.fluid_classify
+        #: cyc(emc_hit + classify_per_rule * max(1, n_rules)) — the
+        #: miss-path labeling cost; resolved lazily (rule count is
+        #: fixed after policy install).
+        self._c_miss = None
         #: Deferred micro-steps: ``(virtual_time, seq, fn, job)`` heap.
         self._micro: list = []
         #: Engaged: absorbing eligible packets, deferring to the heap.
@@ -174,6 +182,9 @@ class FluidLane:
         # --- statistics -------------------------------------------------
         #: Packets absorbed by the lane (no worker wakeup).
         self.absorbed = 0
+        #: Of those, EMC misses absorbed via the analytic classify
+        #: replay (0 unless ``fluid_classify`` is on).
+        self.miss_absorbed = 0
         #: Packets that failed eligibility and took the real path.
         self.spills = 0
         #: Suspends that actually materialised pending steps.
@@ -288,13 +299,15 @@ class FluidLane:
         key = (packet.flow, packet.vf_index)
         entry = entries.get(key)
         if entry is None:
-            self._spill(packet)
+            if not (self._absorb_miss and self._try_fluid_miss(packet, now)):
+                self._spill(packet)
             return
         t = now + self._c_label
         label, stored_at = entry
         timeout = cache.idle_timeout
         if timeout and (t - stored_at) > timeout:
-            self._spill(packet)
+            if not (self._absorb_miss and self._try_fluid_miss(packet, now)):
+                self._spill(packet)
             return
         scheduler = self._scheduler
         hierarchy = label.hierarchy
@@ -349,7 +362,171 @@ class FluidLane:
         else:
             ticket = -1
         if timeout:
-            entries[key] = (label, t)  # get()'s idle refresh
+            entry[1] = t  # get()'s idle refresh, in place
+        entries.move_to_end(key)
+        cache.hits += 1
+        # Inlined label.apply_to(packet).
+        packet.hierarchy_label = label.hierarchy
+        packet.borrow_label = label.borrow
+        for node in path:  # inlined Scheduler.touch_path
+            if t_walk > node.last_seen:
+                node.last_seen = t_walk
+        scheduler.stats.updates_skipped += n_nodes
+        job = _FluidJob(packet, ticket, path)
+        job.lenders = lenders
+        self._live += 1
+        self.absorbed += 1
+        if self._active:  # inlined _defer, the hot branch
+            _heappush(
+                self._micro, (t2, next(self._queue._counter), self._meter_step, job)
+            )
+        else:
+            self._materialized += 1
+            self._queue.push(t2, self._run_mat, (self._meter_step, job))
+
+    def trace_arrival(self, rec, i: int) -> None:
+        """Fused run-item callback for multi-flow trace trains
+        (``NicPipeline.submit_trace``) with the lane on — the
+        :meth:`burst_arrival` twin with per-item ``flows[i]``/
+        ``sizes[i]`` instead of per-train constants, plus the EMC-miss
+        replay branch (``fluid_classify``): in the million-flow regime
+        every flow's first packet misses, and a spill would suspend
+        the lane per flow. Keep in lockstep with ``burst_arrival``;
+        each inlined block names its source."""
+        now = self._sim._now
+        micro = self._micro
+        if micro and micro[0][0] <= now:  # inlined _flush(now)
+            while micro and micro[0][0] <= now:
+                tv, _, fn, jb = _heappop(micro)
+                fn(tv, jb)
+        pipeline = self._pipeline
+        rec.seen += 1
+        if rec.seen == rec.n:
+            pipeline._ingress_bursts.remove(rec)
+        t_emit = rec.times[i]
+        if t_emit > rec.cutoff:
+            return  # retired before its instant (unused by trace today)
+        rec.done += 1
+        pipeline._submitted += 1
+        flow = rec.flows[i]
+        size = rec.sizes[i]
+        factory = rec.factory
+        if factory is not None:  # inlined PacketFactory.make
+            seq = factory._next_seq
+            factory._next_seq = seq + 1
+            factory.created += 1
+            packet = Packet(
+                seq, size, flow, t_emit, rec.app, rec.vf_index, -1
+            )
+        else:
+            packet = rec.make(
+                size, flow, t_emit, app=rec.app, vf_index=rec.vf_index
+            )
+        packet.nic_arrival = t_emit
+        # Inlined BufferPool.try_allocate_asof(t_emit).
+        buffers = self._buffers
+        pending = buffers._pending
+        if pending and pending[0] <= t_emit:
+            free = buffers._free
+            while pending and pending[0] <= t_emit:
+                _heappop(pending)
+                free += 1
+            if free > buffers.count:
+                raise BufferExhausted("buffer pool over-released")
+            buffers._free = free
+        free = buffers._free - 1
+        if free >= 0:
+            buffers._free = free
+            buffers._outstanding += 1
+            if free < buffers.min_free:
+                buffers.min_free = free
+        else:
+            buffers.exhaustion_drops += 1
+            pipeline._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
+            return
+        dispatch = self._dispatch
+        if (
+            not self._active
+            and not dispatch._items
+            and len(dispatch._getters) == self._n_workers
+        ):
+            self._active = True
+        # ---- inlined _try_fluid(packet, now) -------------------------
+        if dispatch._items or len(dispatch._getters) <= self._live:
+            self._spill(packet)
+            return
+        cache = self._labeler.cache
+        if cache is None:
+            self._spill(packet)
+            return
+        entries = cache._entries
+        key = (flow, rec.vf_index)
+        entry = entries.get(key)
+        if entry is None:
+            if not (self._absorb_miss and self._try_fluid_miss(packet, now)):
+                self._spill(packet)
+            return
+        t = now + self._c_label
+        label, stored_at = entry
+        timeout = cache.idle_timeout
+        if timeout and (t - stored_at) > timeout:
+            if not (self._absorb_miss and self._try_fluid_miss(packet, now)):
+                self._spill(packet)
+            return
+        scheduler = self._scheduler
+        hierarchy = label.hierarchy
+        path = scheduler.path_cache.entries.get(hierarchy)
+        if path is None:
+            self._spill(packet)
+            return
+        meta = self._path_meta.get(hierarchy)
+        if meta is None or meta[0] is not path:
+            meta = self._path_meta[hierarchy] = (
+                path,
+                [(n, n.params.update_interval, n.params.expire_after) for n in path],
+            )
+        t_walk = t + self._c_emc
+        for node, interval, expire in meta[1]:  # inlined is_quiescent_at
+            if node.updating:
+                self._spill(packet)
+                return
+            if t_walk - node.last_update >= interval:
+                self._spill(packet)
+                return
+            if t_walk - node.last_seen > expire:
+                self._spill(packet)
+                return
+        n_nodes = len(path)
+        walk = self._c_walk
+        c_walk = walk.get(n_nodes)
+        if c_walk is None:
+            costs = self._costs
+            c_walk = walk[n_nodes] = self._cycles(
+                n_nodes * (costs.sched_per_class + costs.update_trylock)
+            )
+        t2 = t_walk + c_walk
+        t2 += self._c_meter
+        horizon = self._sim._horizon
+        if self._carry > horizon:
+            horizon = self._carry  # window barrier: a pause, not an end
+        if t2 > horizon:
+            self._spill(packet)
+            return
+        lenders = None
+        if self._params.borrow_enabled and label.borrow:
+            lenders = self._lenders(label.borrow)
+            if lenders and t2 + self._lender_bound[label.borrow] > horizon:
+                self._spill(packet)
+                return
+        # --- absorbed: the worker's pre-yield effects -----------------
+        reorder = self._reorder
+        if reorder is not None:  # inlined ReorderBuffer.take_ticket
+            ticket = reorder._next_ticket
+            reorder._next_ticket = ticket + 1
+        else:
+            ticket = -1
+        if timeout:
+            entry[1] = t  # get()'s idle refresh, in place
         entries.move_to_end(key)
         cache.hits += 1
         # Inlined label.apply_to(packet).
@@ -429,13 +606,16 @@ class FluidLane:
         key = (packet.flow, packet.vf_index)
         entry = entries.get(key)
         if entry is None:
-            return False  # EMC miss: the classifier walk is slow-path
+            # EMC miss: the classifier walk is slow-path — unless the
+            # lane is allowed to replay it analytically.
+            return self._absorb_miss and self._try_fluid_miss(packet, now)
         # Label time: arrival + fixed overhead (handle_fast's ``t``).
         t = now + self._c_label
         label, stored_at = entry
         timeout = cache.idle_timeout
         if timeout and (t - stored_at) > timeout:
-            return False  # idle-expired: would take the miss path
+            # Idle-expired: the real get() would miss — same replay.
+            return self._absorb_miss and self._try_fluid_miss(packet, now)
         scheduler = self._scheduler
         path = scheduler.path_cache.entries.get(label.hierarchy)
         if path is None:
@@ -481,7 +661,7 @@ class FluidLane:
         reorder = self._reorder
         ticket = reorder.take_ticket() if reorder is not None else -1
         if timeout:
-            entries[key] = (label, t)  # get()'s idle refresh
+            entry[1] = t  # get()'s idle refresh, in place
         entries.move_to_end(key)
         cache.hits += 1
         label.apply_to(packet)
@@ -495,6 +675,116 @@ class FluidLane:
         self.absorbed += 1
         if self._active:  # inlined _defer, the hot branch
             heapq.heappush(
+                self._micro, (t2, next(self._queue._counter), self._meter_step, job)
+            )
+        else:
+            self._materialized += 1
+            self._queue.push(t2, self._run_mat, (self._meter_step, job))
+        return True
+
+    def _try_fluid_miss(self, packet, now: float) -> bool:
+        """Absorb an EMC-miss packet by replaying the classification
+        walk analytically (``config.fluid_classify``).
+
+        The pre-checks are side-effect-free — the rule walk below
+        deliberately bypasses the classifier's ``lookups``/``misses``
+        counters, which the *committed* walk (``labeler.label``)
+        increments exactly once, as the real worker would. On commit,
+        every mutation the trylock fast handler performs on a miss
+        (cache get-miss bookkeeping, rule walk, cache insert with its
+        eviction/expiry, label stamp, path memoisation, early touch,
+        skip counts) runs at the handler's exact virtual timestamps, so
+        outcomes are bit-identical to the per-packet path; only the
+        kernel-event count differs. Caller guarantees the dispatch gate
+        and a non-None cache.
+        """
+        labeler = self._labeler
+        # Pure pre-walk: first matching rule, as Classifier.classify.
+        leaf_id = None
+        for rule in labeler.classifier._rules:
+            if rule.match.matches(packet):
+                leaf_id = rule.flowid
+                break
+        if leaf_id is None:
+            leaf_id = labeler.default_leaf
+            if leaf_id is None:
+                return False  # unclassified drop: slow path handles it
+        label = labeler._labels.get(leaf_id)
+        if label is None:
+            return False  # UnknownClassError: let the real path raise
+        t = now + self._c_label
+        c_miss = self._c_miss
+        if c_miss is None:
+            costs = self._costs
+            c_miss = self._c_miss = self._cycles(
+                costs.emc_hit
+                + costs.classify_per_rule * max(1, len(labeler.classifier))
+            )
+        t_walk = t + c_miss
+        scheduler = self._scheduler
+        hierarchy = label.hierarchy
+        path = scheduler.path_cache.entries.get(hierarchy)
+        resolved = path is not None
+        if path is None:
+            # Pure resolve for the quiescence probe; the commit below
+            # memoises through the real PathCache (counter included).
+            tree = scheduler.tree
+            path = [tree.node(classid) for classid in hierarchy]
+        for node in path:  # inlined is_quiescent_at, as the hit path
+            if node.updating:
+                return False
+            p = node.params
+            if t_walk - node.last_update >= p.update_interval:
+                return False
+            if t_walk - node.last_seen > p.expire_after:
+                return False
+        n_nodes = len(path)
+        walk = self._c_walk
+        c_walk = walk.get(n_nodes)
+        if c_walk is None:
+            costs = self._costs
+            c_walk = walk[n_nodes] = self._cycles(
+                n_nodes * (costs.sched_per_class + costs.update_trylock)
+            )
+        t2 = t_walk + c_walk
+        t2 += self._c_meter
+        horizon = self._sim._horizon
+        if self._carry > horizon:
+            horizon = self._carry
+        if t2 > horizon:
+            return False  # handle_fast would keep the slow wakeups
+        lenders = None
+        if self._params.borrow_enabled and label.borrow:
+            lenders = self._lenders(label.borrow)
+            if lenders and t2 + self._lender_bound[label.borrow] > horizon:
+                return False
+        # --- absorbed: the worker's pre-yield effects -----------------
+        reorder = self._reorder
+        if reorder is not None:
+            ticket = reorder._next_ticket
+            reorder._next_ticket = ticket + 1
+        else:
+            ticket = -1
+        # The real, counted walk at the label timestamp: get-miss (or
+        # expiry), classify, cache.put with its eviction/expiry
+        # decision, label stamp — LabelingFunction.label is the exact
+        # code the fast handler runs.
+        labeler.label(packet, t)
+        if resolved:
+            shared = path
+        else:
+            shared = scheduler.path_cache.resolve(scheduler.tree, hierarchy)
+        for node in shared:  # inlined Scheduler.touch_path
+            if t_walk > node.last_seen:
+                node.last_seen = t_walk
+        scheduler.stats.updates_skipped += n_nodes
+        job = _FluidJob(packet, ticket, shared)
+        job.lenders = lenders
+        self._live += 1
+        self.absorbed += 1
+        self.miss_absorbed += 1
+        if self._active:
+            _heappush(
                 self._micro, (t2, next(self._queue._counter), self._meter_step, job)
             )
         else:

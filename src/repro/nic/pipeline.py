@@ -95,6 +95,49 @@ class _IngressBurst:
         return self.cutoff <= now or self.times[-1] <= now
 
 
+class _TraceTrain:
+    """One multi-flow emission train from a trace workload window.
+
+    The :class:`_IngressBurst` analogue for batched trace generation
+    (DESIGN.md §12): a window's emissions across *many* flows arrive
+    pre-merged by time, with parallel per-item ``flows``/``sizes``
+    arrays instead of per-train constants — a million single-packet
+    flows would otherwise cost a million one-item trains and a
+    quadratic merge into the shared ingress run. Lazy-counting
+    protocol (``count_at``/``settled``/``done``) matches
+    ``_IngressBurst`` so ``NicPipeline.submitted`` folds both alike.
+    Trace trains carry no congestion feedback: ``cutoff`` stays +inf.
+    """
+
+    __slots__ = (
+        "times", "flows", "sizes", "cutoff", "done", "seen",
+        "make", "app", "vf_index", "n", "factory",
+    )
+
+    def __init__(self, times: List[float], flows, sizes, make, app, vf_index):
+        self.times = times
+        self.flows = flows
+        self.sizes = sizes
+        self.cutoff = _INF
+        self.done = 0
+        self.seen = 0
+        self.make = make
+        self.app = app
+        self.vf_index = vf_index
+        self.n = len(times)
+        maker = getattr(make, "__self__", None)
+        self.factory = (
+            maker
+            if maker is not None
+            and maker.__class__ is PacketFactory
+            and getattr(make, "__func__", None) is PacketFactory.make
+            else None
+        )
+
+    count_at = _IngressBurst.count_at
+    settled = _IngressBurst.settled
+
+
 class NicPipeline:
     """The full NIC model: submit packets in, frames come out the wire.
 
@@ -355,6 +398,44 @@ class NicPipeline:
             self.sim._queue.push_run(entries)
         return rec
 
+    def submit_trace(
+        self,
+        make: Callable[..., Packet],
+        times: List[float],
+        flows: List,
+        sizes: List[int],
+        app: str,
+        vf_index: int = 0,
+    ) -> _TraceTrain:
+        """Offer one window's multi-flow emission train in one call.
+
+        *times* are ascending absolute emission instants (>= now), with
+        parallel *flows* (five-tuples) and *sizes* (minted packet
+        sizes) — the batched trace workload pre-merges every active
+        flow's instants for the window and hands the NIC a single
+        train, so ingress costs one run merge per *window* instead of
+        one heap event per packet (or one train per flow, whose
+        interleaved merges into the shared run would be quadratic in
+        the flow count). Admission and packet minting follow the
+        ``submit_burst`` contract: per-arrival buffer decisions as-of
+        each instant, factory sequence numbers in arrival order.
+        """
+        rec = _TraceTrain(times, flows, sizes, make, app, vf_index)
+        self._ingress_bursts.append(rec)
+        latency = self.config.rx_dma_latency
+        fluid = self._fluid
+        arrive = self._trace_arrival if fluid is None else fluid.trace_arrival
+        entries = [
+            (times[i] + latency, arrive, (rec, i)) for i in range(rec.n)
+        ]
+        if fluid is not None:
+            # One shared run per pipeline, as in submit_burst — window
+            # trains append in time order, so each merge is O(window).
+            self.sim._queue.merge_run(self.ingress_run(), entries)
+        else:
+            self.sim._queue.push_run(entries)
+        return rec
+
     def ingress_run(self) -> EventRun:
         """The shared fluid-mode ingress run, created/revived on demand.
 
@@ -399,6 +480,31 @@ class NicPipeline:
             # Same decision the per-packet route takes at t_emit; the
             # drop is *recorded* here at arrival (t_emit + DMA latency)
             # — the only burst-mode timing shift, see DESIGN.md §7.
+            self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
+            return
+        self._arrive_dma(packet)
+
+    def _trace_arrival(self, rec: _TraceTrain, i: int) -> None:
+        """Per-item DMA completion of a trace train (fluid lane off —
+        with the lane on :meth:`FluidLane.trace_arrival` fuses this)."""
+        fluid = self._fluid
+        if fluid is not None:
+            micro = fluid._micro
+            if micro and micro[0][0] <= self.sim._now:
+                fluid._flush(self.sim._now)
+        rec.seen += 1
+        if rec.seen == rec.n:
+            self._ingress_bursts.remove(rec)
+        t_emit = rec.times[i]
+        if t_emit > rec.cutoff:
+            return
+        rec.done += 1
+        self._submitted += 1
+        packet = rec.make(
+            rec.sizes[i], rec.flows[i], t_emit, app=rec.app, vf_index=rec.vf_index
+        )
+        packet.nic_arrival = t_emit
+        if not self.buffers.try_allocate_asof(t_emit):
             self._drop(packet, DropReason.NO_BUFFER, release_buffer=False)
             return
         self._arrive_dma(packet)

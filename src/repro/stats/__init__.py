@@ -3,7 +3,14 @@ CPU accounting, and table rendering for the benchmark reports."""
 
 from .timeseries import TimeSeries, RateSeries
 from .rates import EwmaRate, WindowedRate
-from .latency import LatencySummary, summarize_latencies, percentile, jitter
+from .latency import (
+    LatencySummary,
+    summarize_latencies,
+    percentile,
+    percentile_sorted,
+    jitter,
+)
+from .sketch import QuantileSketch, WindowedRateSketch
 from .cpu import CoreUsage, CpuReport
 from .metrics import (
     Counter,
@@ -34,7 +41,10 @@ __all__ = [
     "LatencySummary",
     "summarize_latencies",
     "percentile",
+    "percentile_sorted",
     "jitter",
+    "QuantileSketch",
+    "WindowedRateSketch",
     "CoreUsage",
     "CpuReport",
     "Table",

@@ -12,7 +12,13 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["LatencySummary", "summarize_latencies", "percentile", "jitter"]
+__all__ = [
+    "LatencySummary",
+    "summarize_latencies",
+    "percentile",
+    "percentile_sorted",
+    "jitter",
+]
 
 
 def percentile(samples: Sequence[float], p: float) -> float:
@@ -24,9 +30,19 @@ def percentile(samples: Sequence[float], p: float) -> float:
     """
     if not samples:
         raise ValueError("percentile of empty sample set")
+    return percentile_sorted(sorted(samples), p)
+
+
+def percentile_sorted(ordered: Sequence[float], p: float) -> float:
+    """:func:`percentile` over an already-sorted sample list.
+
+    Callers computing several percentiles (``summarize_latencies``)
+    sort once and thread the ordered list through.
+    """
+    if not ordered:
+        raise ValueError("percentile of empty sample set")
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100.0) * (len(ordered) - 1)
@@ -80,15 +96,20 @@ class LatencySummary:
 
 
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
-    """Build a :class:`LatencySummary`; empty input gives all-zeros."""
+    """Build a :class:`LatencySummary`; empty input gives all-zeros.
+
+    The samples are sorted once and every order statistic (both
+    percentiles, min, max) reads the same ordered list.
+    """
     if not samples:
         return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(samples)
     return LatencySummary(
-        count=len(samples),
-        mean=sum(samples) / len(samples),
-        p50=percentile(samples, 50),
-        p99=percentile(samples, 99),
-        maximum=max(samples),
-        minimum=min(samples),
-        jitter=jitter(samples),
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile_sorted(ordered, 50),
+        p99=percentile_sorted(ordered, 99),
+        maximum=ordered[-1],
+        minimum=ordered[0],
+        jitter=jitter(ordered),
     )

@@ -102,3 +102,90 @@ class TestOfferedLoad:
         w1, sent1 = run_workload(WORKLOAD_PRESETS["web"], duration=5.0, seed=9)
         w2, sent2 = run_workload(WORKLOAD_PRESETS["web"], duration=5.0, seed=9)
         assert [p.size for p in sent1] == [p.size for p in sent2]
+
+
+def run_mode(profile, mode, offered=1e6, duration=20.0, seed=2, window=None):
+    sim = Simulator(seed=seed)
+    sent = []
+    workload = TraceWorkload(
+        sim, "app", profile, offered_load_bps=offered,
+        submit=lambda p: sent.append(p) or True,
+        factory=PacketFactory(), duration=duration,
+        mode=mode, window=window,
+    )
+    sim.run(until=duration * 1.5)
+    return workload, sent
+
+
+def packet_stream(sent):
+    return [(p.created_at, p.size, p.flow) for p in sent]
+
+
+class TestBatchedEngine:
+    """The horizon-windowed generator must be bit-identical to the
+    process-per-flow engine — same RNG stream, same draw order, same
+    emission instants (DESIGN.md §12)."""
+
+    @pytest.mark.parametrize("preset", ["kvs", "ml", "web"])
+    def test_bit_identical_to_process_engine(self, preset):
+        wp, sent_p = run_mode(WORKLOAD_PRESETS[preset], "process", duration=10.0)
+        wb, sent_b = run_mode(WORKLOAD_PRESETS[preset], "batched", duration=10.0)
+        assert packet_stream(sent_b) == packet_stream(sent_p)
+        assert wb.flows_started == wp.flows_started
+        assert wb.flows_completed == wp.flows_completed
+        assert wb.bytes_offered == wp.bytes_offered
+        assert wb.windows_generated > 0
+        assert wp.windows_generated == 0
+
+    def test_explicit_window_does_not_change_the_stream(self):
+        _, sent_ref = run_mode(WORKLOAD_PRESETS["kvs"], "batched", duration=8.0)
+        for window in (0.25, 1.0, 100.0):
+            _, sent = run_mode(
+                WORKLOAD_PRESETS["kvs"], "batched", duration=8.0, window=window
+            )
+            assert packet_stream(sent) == packet_stream(sent_ref), window
+
+    def test_mid_run_counter_reads_are_harmless(self):
+        """The lazy ledgers fold on observation; reading the counters
+        mid-run must not perturb the stream or the final tallies."""
+        sim = Simulator(seed=2)
+        sent = []
+        workload = TraceWorkload(
+            sim, "app", WORKLOAD_PRESETS["kvs"], offered_load_bps=1e6,
+            submit=lambda p: sent.append(p) or True,
+            factory=PacketFactory(), duration=10.0, mode="batched",
+        )
+        observed = []
+        sim.run(until=4.0)
+        observed.append(workload.flows_started)
+        sim.run(until=7.0)
+        observed.append(workload.flows_started)
+        sim.run(until=15.0)
+        ref, sent_ref = run_mode(WORKLOAD_PRESETS["kvs"], "batched", duration=10.0)
+        assert packet_stream(sent) == packet_stream(sent_ref)
+        assert workload.flows_started == ref.flows_started
+        assert workload.bytes_offered == ref.bytes_offered
+        # Counters were monotone non-decreasing along the way.
+        assert observed == sorted(observed)
+        assert observed[-1] <= workload.flows_started
+
+    def test_zero_duration_draws_nothing(self):
+        workload, sent = run_mode(WORKLOAD_PRESETS["kvs"], "batched", duration=0.0)
+        assert sent == []
+        assert workload.flows_started == 0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(
+                Simulator(), "a", WORKLOAD_PRESETS["kvs"], 1e6,
+                lambda p: True, PacketFactory(), mode="streamed",
+            )
+
+    def test_many_distinct_flows_without_processes(self):
+        """The flow-count stressor: tens of thousands of flows from a
+        handful of window events, all distinct."""
+        workload, sent = run_mode(
+            WORKLOAD_PRESETS["kvs"], "batched", offered=2e7, duration=30.0
+        )
+        flows = {p.flow for p in sent}
+        assert len(flows) == workload.flows_started > 10_000
